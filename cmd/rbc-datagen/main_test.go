@@ -1,0 +1,52 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/vec"
+)
+
+func TestWriteDatasetBinary(t *testing.T) {
+	db := dataset.UniformCube(50, 4, 1)
+	path := filepath.Join(t.TempDir(), "d.rbcv")
+	if err := writeDataset(db, path, "bin"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := vec.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(db) {
+		t.Fatal("binary round trip mismatch")
+	}
+}
+
+func TestWriteDatasetCSV(t *testing.T) {
+	db := dataset.UniformCube(20, 3, 2)
+	path := filepath.Join(t.TempDir(), "d.csv")
+	if err := writeDataset(db, path, "csv"); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	got, err := vec.ReadCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 20 || got.Dim != 3 {
+		t.Fatalf("csv round trip: %dx%d", got.N(), got.Dim)
+	}
+}
+
+func TestWriteDatasetUnknownFormat(t *testing.T) {
+	db := dataset.UniformCube(5, 2, 3)
+	if err := writeDataset(db, filepath.Join(t.TempDir(), "x"), "xml"); err == nil {
+		t.Fatal("unknown format should error")
+	}
+}

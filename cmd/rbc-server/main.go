@@ -1,0 +1,64 @@
+// Command rbc-server serves an RBC index over HTTP/JSON. See
+// internal/server for the endpoint reference.
+//
+//	rbc-server -data robot.rbcv -mode exact -addr :8080
+//	curl -s localhost:8080/stats
+//	curl -s -XPOST localhost:8080/query -d '{"point":[0.1,...],"k":5}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	rbc "repro"
+	"repro/internal/server"
+	"repro/internal/vec"
+)
+
+func main() {
+	var (
+		dataPath = flag.String("data", "", "dataset file (RBCV binary; required)")
+		mode     = flag.String("mode", "exact", "index type: exact or oneshot")
+		numReps  = flag.Int("reps", 0, "number of representatives (0 = sqrt(n))")
+		seed     = flag.Int64("seed", 1, "random seed")
+		addr     = flag.String("addr", ":8080", "listen address")
+	)
+	flag.Parse()
+	if *dataPath == "" {
+		fmt.Fprintln(os.Stderr, "rbc-server: -data is required")
+		os.Exit(2)
+	}
+	db, err := vec.LoadFile(*dataPath)
+	if err != nil {
+		log.Fatalf("rbc-server: %v", err)
+	}
+	m := rbc.Euclidean()
+	var srv *server.Server
+	start := time.Now()
+	switch *mode {
+	case "exact":
+		idx, err := rbc.BuildExact(db, m, rbc.ExactParams{NumReps: *numReps, Seed: *seed, EarlyExit: true})
+		if err != nil {
+			log.Fatalf("rbc-server: %v", err)
+		}
+		srv = server.NewExact(db, m, idx)
+		log.Printf("exact index: %d points, %d representatives (built in %v)",
+			db.N(), idx.NumReps(), time.Since(start))
+	case "oneshot":
+		idx, err := rbc.BuildOneShot(db, m, rbc.OneShotParams{NumReps: *numReps, Seed: *seed})
+		if err != nil {
+			log.Fatalf("rbc-server: %v", err)
+		}
+		srv = server.NewOneShot(db, m, idx)
+		log.Printf("one-shot index: %d points, %d representatives, s=%d (built in %v)",
+			db.N(), idx.NumReps(), idx.S(), time.Since(start))
+	default:
+		log.Fatalf("rbc-server: unknown mode %q", *mode)
+	}
+	log.Printf("serving on %s", *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv))
+}

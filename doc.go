@@ -1,0 +1,39 @@
+// Package rbc is a Go implementation of the Random Ball Cover (RBC) of
+// Cayton, "Accelerating Nearest Neighbor Search on Manycore Systems"
+// (IPPS 2012; arXiv:1103.2635): metric nearest-neighbor search that is
+// provably sublinear in the database size — O(c^{3/2}√n) per query for
+// expansion rate c — while factoring into brute-force scans that
+// parallelize trivially on multicore CPUs and GPU-style hardware.
+//
+// Two index types are provided, mirroring the paper's two algorithms:
+//
+//   - Exact: always returns a true nearest neighbor. A query scans the
+//     O(√n) representatives, prunes the rest of the database with two
+//     triangle-inequality bounds, and brute-forces the survivors.
+//   - OneShot: returns the true nearest neighbor with high probability
+//     (Theorem 2 of the paper) and is usually faster. A query scans the
+//     representatives and then exactly one ownership list.
+//
+// # Quick start
+//
+//	db := rbc.NewDataset(dim)          // or load with rbc.LoadDataset
+//	// ... db.Append(point) ...
+//	idx, err := rbc.BuildExact(db, rbc.Euclidean(), rbc.ExactParams{})
+//	res, _ := idx.One(query)           // res.ID, res.Dist
+//
+// Both index types support k-NN (KNN, SearchK) and batched parallel
+// search (Search); Exact additionally supports ε-range queries (Range)
+// and a (1+ε)-approximate mode (ExactParams.ApproxEps). Every search
+// returns work statistics (distance evaluations by phase) for
+// machine-independent performance analysis.
+//
+// Arbitrary metric spaces — edit distance on strings, shortest-path
+// distance on graph nodes — are supported through the generic API in
+// repro/internal/core (BuildGenericExact, BuildGenericOneShot); see
+// examples/editdistance.
+//
+// The repository also contains the full reproduction harness for the
+// paper's evaluation: see DESIGN.md for the system inventory, cmd/rbc-bench
+// for the experiment runner, and EXPERIMENTS.md for paper-vs-measured
+// results.
+package rbc

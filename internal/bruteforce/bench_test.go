@@ -1,0 +1,64 @@
+package bruteforce
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/metric"
+	"repro/internal/vec"
+)
+
+func benchData(n, dim int) (*vec.Dataset, []float32) {
+	rng := rand.New(rand.NewSource(5))
+	db := vec.New(dim, n)
+	row := make([]float32, dim)
+	for i := 0; i < n; i++ {
+		for j := range row {
+			row[j] = rng.Float32()
+		}
+		db.Append(row)
+	}
+	q := make([]float32, dim)
+	for j := range q {
+		q[j] = rng.Float32()
+	}
+	return db, q
+}
+
+func BenchmarkSearchOne20k(b *testing.B) {
+	db, q := benchData(20000, 32)
+	m := metric.Euclidean{}
+	b.SetBytes(int64(db.N() * db.Dim * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SearchOne(q, db, m, nil)
+	}
+}
+
+func BenchmarkSearchOneK10(b *testing.B) {
+	db, q := benchData(20000, 32)
+	m := metric.Euclidean{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SearchOneK(q, db, 10, m, nil)
+	}
+}
+
+func BenchmarkBatchSearch(b *testing.B) {
+	db, _ := benchData(5000, 32)
+	queries, _ := benchData(64, 32)
+	m := metric.Euclidean{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Search(queries, db, m, nil)
+	}
+}
+
+func BenchmarkRangeSearch(b *testing.B) {
+	db, q := benchData(20000, 32)
+	m := metric.Euclidean{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RangeSearch(q, db, 0.5, m, nil)
+	}
+}

@@ -1,0 +1,224 @@
+// Package bruteforce implements the paper's brute-force primitive (§3):
+// exhaustive distance computation followed by a comparison step. Every RBC
+// algorithm is assembled from calls into this package.
+//
+// Two decompositions are provided, mirroring the paper:
+//
+//   - batch: BF(Q,X) for a set of queries — the "matrix-matrix" shape,
+//     parallelized over queries (Search, SearchK, …);
+//   - streaming: BF(q,X) for one query — the "matrix-vector" shape,
+//     parallelized over database blocks with a final reduction (SearchOne).
+//
+// All functions optionally report work through a Counter so experiments
+// can measure distance evaluations independent of the machine.
+package bruteforce
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/metric"
+	"repro/internal/par"
+	"repro/internal/vec"
+)
+
+// Result is the answer to a 1-NN query: the database id of the nearest
+// point and its distance. ID is -1 when the database was empty.
+type Result struct {
+	ID   int
+	Dist float64
+}
+
+// Counter accumulates distance evaluations across goroutines. The zero
+// value is ready to use. A nil *Counter is accepted everywhere and simply
+// not updated.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Add records n distance evaluations.
+func (c *Counter) Add(n int) {
+	if c != nil {
+		c.n.Add(int64(n))
+	}
+}
+
+// Load returns the total recorded so far.
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Load()
+}
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() {
+	if c != nil {
+		c.n.Store(0)
+	}
+}
+
+// scanChunk is how many database rows a worker scans per scratch refill.
+// It is sized so the scratch distance buffer stays inside L1.
+const scanChunk = 1024
+
+// scanFlatBest returns the nearest point to q within flat (npts points of
+// dimension dim), with ids offset by base. Ties break toward the lower id.
+func scanFlatBest(q, flat []float32, dim, base int, m metric.Metric[[]float32], c *Counter) Result {
+	npts := len(flat) / dim
+	best := Result{ID: -1, Dist: math.Inf(1)}
+	var scratch [scanChunk]float64
+	for lo := 0; lo < npts; lo += scanChunk {
+		hi := lo + scanChunk
+		if hi > npts {
+			hi = npts
+		}
+		out := scratch[:hi-lo]
+		metric.BatchDistances(m, q, flat[lo*dim:hi*dim], dim, out)
+		for i, d := range out {
+			if d < best.Dist {
+				best = Result{ID: base + lo + i, Dist: d}
+			}
+		}
+	}
+	c.Add(npts)
+	return best
+}
+
+// SearchOne finds the nearest neighbor of a single query with the
+// streaming decomposition: the database is split into blocks scanned in
+// parallel, and the per-block minima are combined with a tree reduction —
+// exactly the parallel-reduce comparison step of §3.
+func SearchOne(q []float32, db *vec.Dataset, m metric.Metric[[]float32], c *Counter) Result {
+	n := db.N()
+	if n == 0 {
+		return Result{ID: -1, Dist: math.Inf(1)}
+	}
+	workers := par.Workers()
+	if workers == 1 || n < 4*scanChunk {
+		return scanFlatBest(q, db.Data, db.Dim, 0, m, c)
+	}
+	blocks := workers
+	parts := make([]Result, blocks)
+	var wg sync.WaitGroup
+	wg.Add(blocks)
+	size := n / blocks
+	rem := n % blocks
+	lo := 0
+	for b := 0; b < blocks; b++ {
+		hi := lo + size
+		if b < rem {
+			hi++
+		}
+		go func(b, lo, hi int) {
+			defer wg.Done()
+			parts[b] = scanFlatBest(q, db.Data[lo*db.Dim:hi*db.Dim], db.Dim, lo, m, c)
+		}(b, lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+	return par.TreeReduce(parts, func(a, b Result) Result {
+		if b.Dist < a.Dist || (b.Dist == a.Dist && b.ID < a.ID) {
+			return b
+		}
+		return a
+	})
+}
+
+// Search is BF(Q,X): the exact nearest neighbor in db for every query,
+// parallelized over queries (the matrix-matrix decomposition).
+func Search(queries, db *vec.Dataset, m metric.Metric[[]float32], c *Counter) []Result {
+	out := make([]Result, queries.N())
+	par.ForEach(queries.N(), 1, func(i int) {
+		out[i] = scanFlatBest(queries.Row(i), db.Data, db.Dim, 0, m, c)
+	})
+	return out
+}
+
+// SearchK is the k-NN generalization of Search: for each query it returns
+// the k nearest database points sorted by ascending distance. When the
+// database has fewer than k points, all of them are returned.
+func SearchK(queries, db *vec.Dataset, k int, m metric.Metric[[]float32], c *Counter) [][]par.Neighbor {
+	out := make([][]par.Neighbor, queries.N())
+	par.ForEach(queries.N(), 1, func(i int) {
+		out[i] = SearchOneK(queries.Row(i), db, k, m, c)
+	})
+	return out
+}
+
+// SearchOneK returns the k nearest neighbors of one query.
+func SearchOneK(q []float32, db *vec.Dataset, k int, m metric.Metric[[]float32], c *Counter) []par.Neighbor {
+	n := db.N()
+	if n == 0 || k <= 0 {
+		return nil
+	}
+	h := par.NewKHeap(k)
+	var scratch [scanChunk]float64
+	for lo := 0; lo < n; lo += scanChunk {
+		hi := lo + scanChunk
+		if hi > n {
+			hi = n
+		}
+		out := scratch[:hi-lo]
+		metric.BatchDistances(m, q, db.Data[lo*db.Dim:hi*db.Dim], db.Dim, out)
+		for i, d := range out {
+			h.Push(lo+i, d)
+		}
+	}
+	c.Add(n)
+	return h.Results()
+}
+
+// SearchSubset is BF(q, X[L]): the nearest neighbor of q among the
+// database rows listed in ids. Returned IDs are database ids (not list
+// positions). Ties break toward the id appearing earliest in ids.
+func SearchSubset(q []float32, db *vec.Dataset, ids []int, m metric.Metric[[]float32], c *Counter) Result {
+	best := Result{ID: -1, Dist: math.Inf(1)}
+	for _, id := range ids {
+		d := m.Distance(q, db.Row(id))
+		if d < best.Dist {
+			best = Result{ID: id, Dist: d}
+		}
+	}
+	c.Add(len(ids))
+	return best
+}
+
+// RangeSearch returns every database point within distance eps of q,
+// sorted by ascending distance (ties by id).
+func RangeSearch(q []float32, db *vec.Dataset, eps float64, m metric.Metric[[]float32], c *Counter) []par.Neighbor {
+	n := db.N()
+	var hits []par.Neighbor
+	var scratch [scanChunk]float64
+	for lo := 0; lo < n; lo += scanChunk {
+		hi := lo + scanChunk
+		if hi > n {
+			hi = n
+		}
+		out := scratch[:hi-lo]
+		metric.BatchDistances(m, q, db.Data[lo*db.Dim:hi*db.Dim], db.Dim, out)
+		for i, d := range out {
+			if d <= eps {
+				hits = append(hits, par.Neighbor{ID: lo + i, Dist: d})
+			}
+		}
+	}
+	c.Add(n)
+	sortNeighbors(hits)
+	return hits
+}
+
+func sortNeighbors(ns []par.Neighbor) {
+	// Insertion sort: range results are typically short; avoids pulling in
+	// sort for a hot path. Falls back gracefully for longer slices too.
+	for i := 1; i < len(ns); i++ {
+		x := ns[i]
+		j := i - 1
+		for j >= 0 && (ns[j].Dist > x.Dist || (ns[j].Dist == x.Dist && ns[j].ID > x.ID)) {
+			ns[j+1] = ns[j]
+			j--
+		}
+		ns[j+1] = x
+	}
+}

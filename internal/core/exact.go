@@ -1,0 +1,423 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/metric"
+	"repro/internal/par"
+	"repro/internal/vec"
+)
+
+// ExactParams configures BuildExact.
+type ExactParams struct {
+	// NumReps is the expected number of representatives n_r. Zero selects
+	// DefaultNumReps(n).
+	NumReps int
+	// Seed drives representative sampling.
+	Seed int64
+	// ExactCount samples exactly NumReps representatives instead of the
+	// paper's independent-inclusion scheme (Binomial size).
+	ExactCount bool
+	// PrunePsi enables the radius bound ρ(q,r) ≥ γ + ψ_r (inequality (1)).
+	// Both bounds default to on in BuildExact when neither is set.
+	PrunePsi bool
+	// PruneTriple enables the Lemma 1 bound ρ(q,r) > 3γ (inequality (2)).
+	PruneTriple bool
+	// EarlyExit restricts the phase-2 scan of each surviving list to the
+	// admissible window of points x with ρ(x,r) ∈ [ρ(q,r)−γ, ρ(q,r)+γ]
+	// (the paper's Claim 2 "sorted list" refinement; exact because
+	// |ρ(q,r)−ρ(x,r)| ≤ ρ(q,x) by the triangle inequality).
+	EarlyExit bool
+	// ApproxEps, when > 0, relaxes the radius bound to prune r whenever
+	// ρ(q,r) ≥ γ/(1+ε) + ψ_r. The returned neighbor is then a
+	// (1+ε)-approximate NN: if the true NN x* was pruned we have
+	// ρ(q,x*) ≥ ρ(q,r) − ψ_r ≥ γ/(1+ε), while the returned distance is at
+	// most γ. This is the footnote-1 variant of the paper.
+	ApproxEps float64
+}
+
+func (p ExactParams) withDefaults(n int) ExactParams {
+	if p.NumReps <= 0 {
+		p.NumReps = DefaultNumReps(n)
+	}
+	if !p.PrunePsi && !p.PruneTriple {
+		p.PrunePsi = true
+		p.PruneTriple = true
+	}
+	return p
+}
+
+// Exact is the RBC index for the exact search algorithm (§5.2): every
+// database point belongs to exactly one ownership list — that of its
+// nearest representative — and the lists partition the database.
+//
+// The database rows are gathered into a permuted flat buffer in which each
+// list is contiguous and sorted by distance to its representative, so the
+// phase-2 scan streams memory just like phase 1.
+type Exact struct {
+	db  *vec.Dataset
+	m   metric.Metric[[]float32]
+	prm ExactParams
+
+	repIDs  []int        // database ids of the representatives
+	repData *vec.Dataset // gathered representative vectors
+	radii   []float64    // ψ_r per representative
+	isRep   []bool       // database id → is a representative
+
+	offsets []int     // len(repIDs)+1; list j occupies positions [offsets[j],offsets[j+1])
+	ids     []int32   // position → database id
+	dists   []float64 // position → ρ(x, rep), ascending within each list
+	gather  []float32 // position-aligned gathered vectors
+
+	// mut holds dynamic-update state (overflow lists, tombstones); nil
+	// while the index is pristine. See mutate.go.
+	mut *mutableState
+}
+
+// BuildExact constructs the exact-search RBC over db. The build is the
+// single brute-force call BF(X,R) (§4): each database point finds its
+// nearest representative; lists, radii and the gathered layout follow.
+func BuildExact(db *vec.Dataset, m metric.Metric[[]float32], prm ExactParams) (*Exact, error) {
+	n := db.N()
+	if err := validateBuildInputs(n, db.Dim); err != nil {
+		return nil, err
+	}
+	prm = prm.withDefaults(n)
+	if prm.ApproxEps < 0 {
+		return nil, fmt.Errorf("core: negative ApproxEps %v", prm.ApproxEps)
+	}
+	rng := newRand(prm.Seed)
+	repIDs := sampleReps(n, prm.NumReps, prm.ExactCount, rng)
+	nr := len(repIDs)
+	repData := db.Subset(repIDs)
+	isRep := make([]bool, n)
+	for _, id := range repIDs {
+		isRep[id] = true
+	}
+
+	// BF(X,R): nearest representative for every database point, parallel
+	// over the database (the matrix-matrix decomposition of §3).
+	owner := make([]int32, n)
+	ownerDist := make([]float64, n)
+	par.For(n, 256, func(lo, hi int) {
+		scratch := make([]float64, nr)
+		for i := lo; i < hi; i++ {
+			metric.BatchDistances(m, db.Row(i), repData.Data, db.Dim, scratch)
+			bi, bv := 0, scratch[0]
+			for j := 1; j < nr; j++ {
+				if scratch[j] < bv {
+					bi, bv = j, scratch[j]
+				}
+			}
+			owner[i] = int32(bi)
+			ownerDist[i] = bv
+		}
+	})
+
+	// Bucket into lists (counting sort by owner), then sort each list by
+	// distance to its representative to enable the EarlyExit window.
+	counts := make([]int, nr+1)
+	for _, o := range owner {
+		counts[o+1]++
+	}
+	for j := 0; j < nr; j++ {
+		counts[j+1] += counts[j]
+	}
+	offsets := append([]int(nil), counts...)
+	ids := make([]int32, n)
+	dists := make([]float64, n)
+	next := append([]int(nil), counts[:nr]...)
+	for i := 0; i < n; i++ {
+		pos := next[owner[i]]
+		next[owner[i]]++
+		ids[pos] = int32(i)
+		dists[pos] = ownerDist[i]
+	}
+	radii := make([]float64, nr)
+	par.ForEach(nr, 8, func(j int) {
+		lo, hi := offsets[j], offsets[j+1]
+		seg := newSegSorter(ids[lo:hi], dists[lo:hi])
+		sort.Sort(seg)
+		if hi > lo {
+			radii[j] = dists[hi-1]
+		}
+	})
+
+	// Gather the database into list order so phase 2 is contiguous.
+	gather := make([]float32, n*db.Dim)
+	par.For(n, 512, func(lo, hi int) {
+		for p := lo; p < hi; p++ {
+			copy(gather[p*db.Dim:(p+1)*db.Dim], db.Row(int(ids[p])))
+		}
+	})
+
+	return &Exact{
+		db: db, m: m, prm: prm,
+		repIDs: repIDs, repData: repData, radii: radii, isRep: isRep,
+		offsets: offsets, ids: ids, dists: dists, gather: gather,
+	}, nil
+}
+
+// segSorter sorts a list segment by (dist, id) without allocating pairs.
+type segSorter struct {
+	ids   []int32
+	dists []float64
+}
+
+func newSegSorter(ids []int32, dists []float64) *segSorter { return &segSorter{ids, dists} }
+func (s *segSorter) Len() int                              { return len(s.ids) }
+func (s *segSorter) Less(i, j int) bool {
+	if s.dists[i] != s.dists[j] {
+		return s.dists[i] < s.dists[j]
+	}
+	return s.ids[i] < s.ids[j]
+}
+func (s *segSorter) Swap(i, j int) {
+	s.ids[i], s.ids[j] = s.ids[j], s.ids[i]
+	s.dists[i], s.dists[j] = s.dists[j], s.dists[i]
+}
+
+// NumReps reports the realized number of representatives |R|.
+func (e *Exact) NumReps() int { return len(e.repIDs) }
+
+// RepIDs returns the database ids of the representatives (do not modify).
+func (e *Exact) RepIDs() []int { return e.repIDs }
+
+// Radii returns ψ_r for each representative (do not modify).
+func (e *Exact) Radii() []float64 { return e.radii }
+
+// ListSizes returns the ownership-list cardinalities.
+func (e *Exact) ListSizes() []int {
+	out := make([]int, e.NumReps())
+	for j := range out {
+		out[j] = e.offsets[j+1] - e.offsets[j]
+	}
+	return out
+}
+
+// Params returns the parameters the index was built with (NumReps reflects
+// the requested value; see NumReps() for the realized count).
+func (e *Exact) Params() ExactParams { return e.prm }
+
+// One returns the exact nearest neighbor of q (or a (1+ε)-approximate one
+// when ApproxEps > 0), along with the work performed.
+func (e *Exact) One(q []float32) (Result, Stats) {
+	res, st := e.one(q, 1)
+	if len(res) == 0 {
+		return Result{ID: -1, Dist: math.Inf(1)}, st
+	}
+	return Result{ID: res[0].ID, Dist: res[0].Dist}, st
+}
+
+// KNN returns the k exact nearest neighbors of q sorted by ascending
+// distance. Fewer than k are returned only if the database is smaller
+// than k.
+func (e *Exact) KNN(q []float32, k int) ([]par.Neighbor, Stats) {
+	if k <= 0 {
+		return nil, Stats{}
+	}
+	return e.one(q, k)
+}
+
+// one runs the two-phase exact search for the k nearest neighbors.
+//
+// Correctness of the pruning for k > 1: let γ_k be the k-th smallest
+// distance from q to a representative (or +inf if |R| < k). Since
+// representatives are database points, γ_k upper-bounds the k-th NN
+// distance. Rule (1) generalizes directly: a representative with
+// ρ(q,r) ≥ γ_k + ψ_r owns no point within γ_k of q. Rule (2): if x is one
+// of the k NNs and r* owns x, then ρ(x,r*) ≤ ρ(x,q)+ρ(q,r_1) ≤ γ_k+γ_1,
+// so ρ(q,r*) ≤ ρ(q,x)+ρ(x,r*) ≤ 2γ_k+γ_1 ≤ 3γ_k — we prune with the
+// tighter 2γ_k+γ_1.
+func (e *Exact) one(q []float32, k int) ([]par.Neighbor, Stats) {
+	nr := e.NumReps()
+	dim := e.db.Dim
+	st := Stats{RepEvals: int64(nr)}
+
+	// Phase 1: brute force over the representatives, retaining distances.
+	repDists := make([]float64, nr)
+	metric.BatchDistances(e.m, q, e.repData.Data, dim, repDists)
+	gamma1, gammaK := e.liveGammas(repDists, k)
+
+	// Pruning thresholds. ApproxEps relaxes only the radius rule.
+	psiGamma := gammaK
+	if e.prm.ApproxEps > 0 {
+		psiGamma = gammaK / (1 + e.prm.ApproxEps)
+	}
+	tripleBound := 2*gammaK + gamma1
+
+	h := par.NewKHeap(k)
+	// Seed the heap with the representatives themselves. They are database
+	// points whose distances are already paid for; this realizes the
+	// paper's implicit "γ is itself a candidate answer" and — together
+	// with the list scans below skipping representative ids — makes the
+	// returned k-NN multiset exact even at pruning-boundary ties.
+	for j, d := range repDists {
+		if !e.isDeleted(e.repIDs[j]) {
+			h.Push(e.repIDs[j], d)
+		}
+	}
+
+	var scratch [256]float64
+	for j := 0; j < nr; j++ {
+		d := repDists[j]
+		if e.prm.PrunePsi && d >= psiGamma+e.radii[j] {
+			st.PrunedPsi++
+			continue
+		}
+		if e.prm.PruneTriple && !math.IsInf(tripleBound, 1) && d > tripleBound {
+			st.PrunedTriple++
+			continue
+		}
+		st.RepsKept++
+		lo, hi := e.offsets[j], e.offsets[j+1]
+		// Admissible window half-width: |ρ(q,r) − ρ(x,r)| ≤ ρ(q,x) ≤ γ_k
+		// for any answer x, so only ρ(x,r) ∈ [d−w, d+w] can qualify, with
+		// w = γ_k (or its (1+ε)-relaxation, matching the radius rule).
+		w := psiGamma
+		if e.prm.EarlyExit {
+			lo += sort.SearchFloat64s(e.dists[lo:hi], d-w)
+			hi = e.offsets[j] + sort.SearchFloat64s(e.dists[e.offsets[j]:hi], math.Nextafter(d+w, math.Inf(1)))
+		}
+		for blk := lo; blk < hi; blk += len(scratch) {
+			end := blk + len(scratch)
+			if end > hi {
+				end = hi
+			}
+			out := scratch[:end-blk]
+			metric.BatchDistances(e.m, q, e.gather[blk*dim:end*dim], dim, out)
+			for i, dd := range out {
+				if id := int(e.ids[blk+i]); !e.isRep[id] && !e.isDeleted(id) {
+					h.Push(id, dd)
+				}
+			}
+			st.PointEvals += int64(end - blk)
+		}
+		st.PointEvals += e.scanOverflow(j, q, w, d, func(id int, dd float64) {
+			if !e.isRep[id] {
+				h.Push(id, dd)
+			}
+		})
+	}
+	return h.Results(), st
+}
+
+// Search answers a batch of queries in parallel (one goroutine block per
+// query range) and returns the per-query results plus aggregated stats.
+func (e *Exact) Search(queries *vec.Dataset) ([]Result, Stats) {
+	e.checkDim(queries.Dim)
+	out := make([]Result, queries.N())
+	stats := make([]Stats, queries.N())
+	par.ForEach(queries.N(), 1, func(i int) {
+		out[i], stats[i] = e.One(queries.Row(i))
+	})
+	var agg Stats
+	for i := range stats {
+		agg.Add(stats[i])
+	}
+	return out, agg
+}
+
+// SearchK answers a batch of k-NN queries in parallel.
+func (e *Exact) SearchK(queries *vec.Dataset, k int) ([][]par.Neighbor, Stats) {
+	e.checkDim(queries.Dim)
+	out := make([][]par.Neighbor, queries.N())
+	stats := make([]Stats, queries.N())
+	par.ForEach(queries.N(), 1, func(i int) {
+		out[i], stats[i] = e.KNN(queries.Row(i), k)
+	})
+	var agg Stats
+	for i := range stats {
+		agg.Add(stats[i])
+	}
+	return out, agg
+}
+
+// Range returns every database point within eps of q, sorted by ascending
+// distance. The search is exact: a representative can own a point within
+// eps of q only if ρ(q,r) ≤ eps + ψ_r, and within a surviving list only
+// points with ρ(x,r) ∈ [ρ(q,r)−eps, ρ(q,r)+eps] can qualify.
+func (e *Exact) Range(q []float32, eps float64) ([]par.Neighbor, Stats) {
+	nr := e.NumReps()
+	dim := e.db.Dim
+	st := Stats{RepEvals: int64(nr)}
+	repDists := make([]float64, nr)
+	metric.BatchDistances(e.m, q, e.repData.Data, dim, repDists)
+
+	var hits []par.Neighbor
+	var scratch [256]float64
+	for j := 0; j < nr; j++ {
+		d := repDists[j]
+		if d > eps+e.radii[j] {
+			st.PrunedPsi++
+			continue
+		}
+		st.RepsKept++
+		lo, hi := e.offsets[j], e.offsets[j+1]
+		if e.prm.EarlyExit {
+			lo += sort.SearchFloat64s(e.dists[lo:hi], d-eps)
+			hi = e.offsets[j] + sort.SearchFloat64s(e.dists[e.offsets[j]:hi], math.Nextafter(d+eps, math.Inf(1)))
+		}
+		for blk := lo; blk < hi; blk += len(scratch) {
+			end := blk + len(scratch)
+			if end > hi {
+				end = hi
+			}
+			out := scratch[:end-blk]
+			metric.BatchDistances(e.m, q, e.gather[blk*dim:end*dim], dim, out)
+			for i, dd := range out {
+				if id := int(e.ids[blk+i]); dd <= eps && !e.isDeleted(id) {
+					hits = append(hits, par.Neighbor{ID: id, Dist: dd})
+				}
+			}
+			st.PointEvals += int64(end - blk)
+		}
+		st.PointEvals += e.scanOverflow(j, q, eps, d, func(id int, dd float64) {
+			if dd <= eps {
+				hits = append(hits, par.Neighbor{ID: id, Dist: dd})
+			}
+		})
+	}
+	sort.Slice(hits, func(a, b int) bool {
+		if hits[a].Dist != hits[b].Dist {
+			return hits[a].Dist < hits[b].Dist
+		}
+		return hits[a].ID < hits[b].ID
+	})
+	return hits, st
+}
+
+func (e *Exact) checkDim(dim int) {
+	if dim != e.db.Dim {
+		panic(fmt.Sprintf("core: query dim %d does not match database dim %d", dim, e.db.Dim))
+	}
+}
+
+// kthSmallest returns the smallest value and the k-th smallest value of
+// xs (1-based k). When k exceeds len(xs) the k-th value is +Inf.
+func kthSmallest(xs []float64, k int) (first, kth float64) {
+	if len(xs) == 0 {
+		return math.Inf(1), math.Inf(1)
+	}
+	if k == 1 {
+		_, v := par.ArgMin(xs)
+		return v, v
+	}
+	if k > len(xs) {
+		first := xs[0]
+		for _, v := range xs[1:] {
+			if v < first {
+				first = v
+			}
+		}
+		return first, math.Inf(1)
+	}
+	h := par.NewKHeap(k)
+	for i, v := range xs {
+		h.Push(i, v)
+	}
+	res := h.Results()
+	return res[0].Dist, res[len(res)-1].Dist
+}

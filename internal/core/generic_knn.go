@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/par"
+)
+
+// k-NN and range search for the generic (arbitrary point type) RBC,
+// mirroring the vector implementations. The pruning derivations are in
+// exact.go; the only difference here is per-point Distance calls in
+// place of batched scans.
+
+// KNN returns the k exact nearest neighbors of q under the generic exact
+// index, sorted by ascending distance.
+func (g *GenericExact[P]) KNN(q P, k int) ([]par.Neighbor, Stats) {
+	if k <= 0 {
+		return nil, Stats{}
+	}
+	nr := g.NumReps()
+	st := Stats{RepEvals: int64(nr)}
+	repDists := make([]float64, nr)
+	for j, rid := range g.repIDs {
+		repDists[j] = g.m.Distance(q, g.db[rid])
+	}
+	gamma1, gammaK := kthSmallest(repDists, k)
+	psiGamma := gammaK
+	if g.prm.ApproxEps > 0 {
+		psiGamma = gammaK / (1 + g.prm.ApproxEps)
+	}
+	tripleBound := 2*gammaK + gamma1
+
+	h := par.NewKHeap(k)
+	for j, d := range repDists {
+		h.Push(g.repIDs[j], d)
+	}
+	for j := range g.repIDs {
+		d := repDists[j]
+		if g.prm.PrunePsi && d >= psiGamma+g.radii[j] {
+			st.PrunedPsi++
+			continue
+		}
+		if g.prm.PruneTriple && !math.IsInf(tripleBound, 1) && d > tripleBound {
+			st.PrunedTriple++
+			continue
+		}
+		st.RepsKept++
+		list, dists := g.lists[j], g.dists[j]
+		lo, hi := 0, len(list)
+		if g.prm.EarlyExit {
+			lo = sort.SearchFloat64s(dists, d-psiGamma)
+			hi = sort.SearchFloat64s(dists, math.Nextafter(d+psiGamma, math.Inf(1)))
+		}
+		for i := lo; i < hi; i++ {
+			id := int(list[i])
+			if g.isRep[id] {
+				continue
+			}
+			h.Push(id, g.m.Distance(q, g.db[id]))
+			st.PointEvals++
+		}
+	}
+	return h.Results(), st
+}
+
+// Range returns every database point within eps of q, sorted by
+// ascending distance.
+func (g *GenericExact[P]) Range(q P, eps float64) ([]par.Neighbor, Stats) {
+	nr := g.NumReps()
+	st := Stats{RepEvals: int64(nr)}
+	repDists := make([]float64, nr)
+	for j, rid := range g.repIDs {
+		repDists[j] = g.m.Distance(q, g.db[rid])
+	}
+	var hits []par.Neighbor
+	for j := range g.repIDs {
+		d := repDists[j]
+		if d > eps+g.radii[j] {
+			st.PrunedPsi++
+			continue
+		}
+		st.RepsKept++
+		list, dists := g.lists[j], g.dists[j]
+		lo, hi := 0, len(list)
+		if g.prm.EarlyExit {
+			lo = sort.SearchFloat64s(dists, d-eps)
+			hi = sort.SearchFloat64s(dists, math.Nextafter(d+eps, math.Inf(1)))
+		}
+		for i := lo; i < hi; i++ {
+			id := int(list[i])
+			dd := g.m.Distance(q, g.db[id])
+			st.PointEvals++
+			if dd <= eps {
+				hits = append(hits, par.Neighbor{ID: id, Dist: dd})
+			}
+		}
+	}
+	sort.Slice(hits, func(a, b int) bool {
+		if hits[a].Dist != hits[b].Dist {
+			return hits[a].Dist < hits[b].Dist
+		}
+		return hits[a].ID < hits[b].ID
+	})
+	return hits, st
+}
+
+// KNN returns the k (probabilistically correct) nearest neighbors under
+// the generic one-shot index.
+func (g *GenericOneShot[P]) KNN(q P, k int) ([]par.Neighbor, Stats) {
+	if k <= 0 {
+		return nil, Stats{}
+	}
+	nr := g.NumReps()
+	st := Stats{RepEvals: int64(nr)}
+	bestRep, bd := -1, math.Inf(1)
+	for j, rid := range g.repIDs {
+		if d := g.m.Distance(q, g.db[rid]); d < bd {
+			bestRep, bd = j, d
+		}
+	}
+	st.RepsKept = 1
+	h := par.NewKHeap(k)
+	for _, id := range g.lists[bestRep] {
+		h.Push(int(id), g.m.Distance(q, g.db[int(id)]))
+		st.PointEvals++
+	}
+	return h.Results(), st
+}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/metric"
+)
+
+// Dynamic updates for the Exact index. The RBC is a static structure in
+// the paper; production deployments need inserts and deletes without
+// full rebuilds, and the cover's geometry makes both cheap:
+//
+//   - Insert routes the new point to its nearest representative (one
+//     brute-force scan of R, exactly the build rule) and parks it on that
+//     representative's *overflow* list; the radius ψ_r grows if needed,
+//     so both pruning bounds remain sound.
+//   - Delete tombstones a point; searches skip tombstoned ids. Radii are
+//     left untouched — stale-high radii weaken pruning but never break
+//     correctness.
+//   - Rebuild folds overflows into the sorted gathered layout and purges
+//     tombstones, restoring the canonical structure (same
+//     representatives).
+//
+// Searches remain exact throughout: overflow members are scanned
+// alongside their segment, and the γ thresholds are computed over live
+// representatives only (deleted representatives still route, but no
+// longer witness an upper bound).
+
+// ErrDirtyIndex is wrapped by Save when un-rebuilt mutations exist.
+var ErrDirtyIndex = fmt.Errorf("core: index has pending mutations; call Rebuild before Save")
+
+// mutableState carries the update-related fields of Exact.
+type mutableState struct {
+	overflowIDs   [][]int32   // per-rep ids parked since the last rebuild
+	overflowDists [][]float64 // matching distances to the representative
+	deleted       []bool      // db id → tombstoned
+	numDeleted    int
+	numOverflow   int
+}
+
+func (e *Exact) ensureMutable() {
+	if e.mut == nil {
+		e.mut = &mutableState{
+			overflowIDs:   make([][]int32, e.NumReps()),
+			overflowDists: make([][]float64, e.NumReps()),
+			deleted:       make([]bool, e.db.N()),
+		}
+	}
+}
+
+// Dirty reports whether the index holds mutations not yet folded in by
+// Rebuild.
+func (e *Exact) Dirty() bool {
+	return e.mut != nil && (e.mut.numOverflow > 0 || e.mut.numDeleted > 0)
+}
+
+// Live reports the number of non-deleted points.
+func (e *Exact) Live() int {
+	n := e.db.N()
+	if e.mut != nil {
+		n -= e.mut.numDeleted
+	}
+	return n
+}
+
+// Insert appends p to the database and the index, returning its new id.
+// The point is assigned to its nearest representative, as at build time.
+// Cost: one scan of R plus O(1) bookkeeping.
+func (e *Exact) Insert(p []float32) int {
+	e.checkDim(len(p))
+	e.ensureMutable()
+	id := e.db.N()
+	e.db.Append(p)
+	e.isRep = append(e.isRep, false)
+	e.mut.deleted = append(e.mut.deleted, false)
+
+	nr := e.NumReps()
+	dists := make([]float64, nr)
+	metric.BatchDistances(e.m, p, e.repData.Data, e.db.Dim, dists)
+	best := 0
+	for j := 1; j < nr; j++ {
+		if dists[j] < dists[best] {
+			best = j
+		}
+	}
+	e.mut.overflowIDs[best] = append(e.mut.overflowIDs[best], int32(id))
+	e.mut.overflowDists[best] = append(e.mut.overflowDists[best], dists[best])
+	e.mut.numOverflow++
+	if dists[best] > e.radii[best] {
+		e.radii[best] = dists[best]
+	}
+	return id
+}
+
+// Delete tombstones the point with the given id. Deleting a
+// representative's point removes it from results but keeps it as a
+// routing landmark until Rebuild. Deleting an already-deleted or
+// out-of-range id returns an error.
+func (e *Exact) Delete(id int) error {
+	if id < 0 || id >= e.db.N() {
+		return fmt.Errorf("core: delete id %d out of range [0,%d)", id, e.db.N())
+	}
+	e.ensureMutable()
+	if e.mut.deleted[id] {
+		return fmt.Errorf("core: id %d already deleted", id)
+	}
+	e.mut.deleted[id] = true
+	e.mut.numDeleted++
+	return nil
+}
+
+// isDeleted reports whether id is tombstoned (nil-safe).
+func (e *Exact) isDeleted(id int) bool {
+	return e.mut != nil && e.mut.deleted[id]
+}
+
+// Rebuild folds overflow lists into the sorted, gathered layout and
+// purges tombstones. Representatives are kept (including tombstoned ones,
+// which continue to serve as routing landmarks but are excluded from
+// results); radii are recomputed exactly.
+func (e *Exact) Rebuild() {
+	if e.mut == nil {
+		return
+	}
+	nr := e.NumReps()
+	dim := e.db.Dim
+	// Merge each segment with its overflow, dropping tombstones.
+	type member struct {
+		id   int32
+		dist float64
+	}
+	newOffsets := make([]int, nr+1)
+	merged := make([][]member, nr)
+	total := 0
+	for j := 0; j < nr; j++ {
+		lo, hi := e.offsets[j], e.offsets[j+1]
+		ms := make([]member, 0, hi-lo+len(e.mut.overflowIDs[j]))
+		for p := lo; p < hi; p++ {
+			if id := e.ids[p]; !e.mut.deleted[id] {
+				ms = append(ms, member{id: id, dist: e.dists[p]})
+			}
+		}
+		for i, id := range e.mut.overflowIDs[j] {
+			if !e.mut.deleted[id] {
+				ms = append(ms, member{id: id, dist: e.mut.overflowDists[j][i]})
+			}
+		}
+		sort.Slice(ms, func(a, b int) bool {
+			if ms[a].dist != ms[b].dist {
+				return ms[a].dist < ms[b].dist
+			}
+			return ms[a].id < ms[b].id
+		})
+		merged[j] = ms
+		total += len(ms)
+		newOffsets[j+1] = total
+	}
+	ids := make([]int32, total)
+	dists := make([]float64, total)
+	gather := make([]float32, total*dim)
+	for j := 0; j < nr; j++ {
+		base := newOffsets[j]
+		for i, m := range merged[j] {
+			ids[base+i] = m.id
+			dists[base+i] = m.dist
+			copy(gather[(base+i)*dim:(base+i+1)*dim], e.db.Row(int(m.id)))
+		}
+		if len(merged[j]) > 0 {
+			e.radii[j] = merged[j][len(merged[j])-1].dist
+		} else {
+			e.radii[j] = 0
+		}
+	}
+	e.offsets = newOffsets
+	e.ids = ids
+	e.dists = dists
+	e.gather = gather
+	// Tombstoned ids stay recorded (they remain unreturnable) but the
+	// overflow bookkeeping resets.
+	deleted := e.mut.deleted
+	numDeleted := e.mut.numDeleted
+	e.mut = &mutableState{
+		overflowIDs:   make([][]int32, nr),
+		overflowDists: make([][]float64, nr),
+		deleted:       deleted,
+		numDeleted:    numDeleted,
+	}
+	e.mut.numOverflow = 0
+	if numDeleted == 0 {
+		e.mut = nil // fully clean: drop the mutable state entirely
+	}
+}
+
+// liveGammas returns (γ_1, γ_k) computed over live representatives only,
+// falling back to +Inf (no pruning) when every representative is
+// tombstoned.
+func (e *Exact) liveGammas(repDists []float64, k int) (float64, float64) {
+	if e.mut == nil || e.mut.numDeleted == 0 {
+		return kthSmallest(repDists, k)
+	}
+	live := make([]float64, 0, len(repDists))
+	for j, d := range repDists {
+		if !e.mut.deleted[e.repIDs[j]] {
+			live = append(live, d)
+		}
+	}
+	if len(live) == 0 {
+		return math.Inf(1), math.Inf(1)
+	}
+	return kthSmallest(live, k)
+}
+
+// scanOverflow pushes a representative's overflow members (respecting the
+// admissible window) and returns the number of distance evaluations.
+func (e *Exact) scanOverflow(j int, q []float32, w float64, d float64, h func(id int, dd float64)) int64 {
+	if e.mut == nil || len(e.mut.overflowIDs[j]) == 0 {
+		return 0
+	}
+	var evals int64
+	var out [1]float64
+	for i, id := range e.mut.overflowIDs[j] {
+		if e.mut.deleted[id] {
+			continue
+		}
+		if e.prm.EarlyExit {
+			od := e.mut.overflowDists[j][i]
+			if od < d-w || od > d+w {
+				continue
+			}
+		}
+		// The batch path, even for one row, so rounding matches the
+		// gathered-scan and brute-force code paths bit for bit.
+		metric.BatchDistances(e.m, q, e.db.Row(int(id)), e.db.Dim, out[:])
+		evals++
+		h(int(id), out[0])
+	}
+	return evals
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bruteforce"
+	"repro/internal/metric"
+	"repro/internal/par"
+	"repro/internal/vec"
+)
+
+// OneShotParams configures BuildOneShot.
+type OneShotParams struct {
+	// NumReps is the expected number of representatives n_r. Zero selects
+	// DefaultNumReps(n).
+	NumReps int
+	// S is the ownership-list size: each representative owns its S nearest
+	// database points. Zero selects S = NumReps, the paper's n_r = s
+	// setting (Theorem 2).
+	S int
+	// Seed drives representative sampling.
+	Seed int64
+	// ExactCount samples exactly NumReps representatives instead of the
+	// paper's independent-inclusion scheme.
+	ExactCount bool
+	// Probes is the number of nearest representatives whose lists are
+	// scanned per query. The paper's algorithm is Probes = 1 (the
+	// default); larger values trade time for accuracy, an extension in
+	// the spirit of multiprobe LSH.
+	Probes int
+}
+
+func (p OneShotParams) withDefaults(n int) OneShotParams {
+	if p.NumReps <= 0 {
+		p.NumReps = DefaultNumReps(n)
+	}
+	if p.S <= 0 {
+		p.S = p.NumReps
+	}
+	if p.S > n {
+		p.S = n
+	}
+	if p.Probes <= 0 {
+		p.Probes = 1
+	}
+	return p
+}
+
+// OneShot is the RBC index for the one-shot search algorithm (§5.1): each
+// representative owns its s nearest database points (lists overlap), and a
+// query scans exactly one ownership list — that of its nearest
+// representative. The answer is exact with probability ≥ 1−δ when
+// n_r = s = c·sqrt(n·ln(1/δ)) (Theorem 2).
+type OneShot struct {
+	db  *vec.Dataset
+	m   metric.Metric[[]float32]
+	prm OneShotParams
+
+	repIDs  []int
+	repData *vec.Dataset
+	radii   []float64 // ψ_r = distance from r to its s-th neighbor
+
+	// Ownership lists, gathered: list j occupies ids[j*s:(j+1)*s] and the
+	// matching rows of gather. Lists overlap, so gather duplicates rows by
+	// design — the price of one-shot's single-list scan.
+	s      int
+	ids    []int32
+	gather []float32
+}
+
+// BuildOneShot constructs the one-shot RBC over db. The build is the
+// single brute-force call BF(R,X) (§4): each representative finds its s
+// nearest database points.
+func BuildOneShot(db *vec.Dataset, m metric.Metric[[]float32], prm OneShotParams) (*OneShot, error) {
+	n := db.N()
+	if err := validateBuildInputs(n, db.Dim); err != nil {
+		return nil, err
+	}
+	prm = prm.withDefaults(n)
+	rng := newRand(prm.Seed)
+	repIDs := sampleReps(n, prm.NumReps, prm.ExactCount, rng)
+	nr := len(repIDs)
+	repData := db.Subset(repIDs)
+	s := prm.S
+
+	o := &OneShot{
+		db: db, m: m, prm: prm,
+		repIDs: repIDs, repData: repData,
+		s:      s,
+		radii:  make([]float64, nr),
+		ids:    make([]int32, nr*s),
+		gather: make([]float32, nr*s*db.Dim),
+	}
+	// BF(R,X): the s nearest database points of every representative,
+	// parallel over representatives.
+	par.ForEach(nr, 1, func(j int) {
+		nbs := bruteforce.SearchOneK(repData.Row(j), db, s, m, nil)
+		for i, nb := range nbs {
+			pos := j*s + i
+			o.ids[pos] = int32(nb.ID)
+			copy(o.gather[pos*db.Dim:(pos+1)*db.Dim], db.Row(nb.ID))
+		}
+		o.radii[j] = nbs[len(nbs)-1].Dist
+	})
+	return o, nil
+}
+
+// NumReps reports the realized number of representatives |R|.
+func (o *OneShot) NumReps() int { return len(o.repIDs) }
+
+// S reports the ownership-list size.
+func (o *OneShot) S() int { return o.s }
+
+// RepIDs returns the database ids of the representatives (do not modify).
+func (o *OneShot) RepIDs() []int { return o.repIDs }
+
+// Radii returns ψ_r per representative (do not modify).
+func (o *OneShot) Radii() []float64 { return o.radii }
+
+// Params returns the parameters the index was built with.
+func (o *OneShot) Params() OneShotParams { return o.prm }
+
+// One runs the one-shot search for q: BF(q,R) to find the nearest
+// representative, then BF(q, X[L_r]) over its ownership list.
+func (o *OneShot) One(q []float32) (Result, Stats) {
+	res, st := o.KNN(q, 1)
+	if len(res) == 0 {
+		return Result{ID: -1, Dist: math.Inf(1)}, st
+	}
+	return Result{ID: res[0].ID, Dist: res[0].Dist}, st
+}
+
+// KNN returns the (probabilistically correct) k nearest neighbors of q,
+// sorted by ascending distance, scanning the Probes nearest
+// representatives' lists.
+func (o *OneShot) KNN(q []float32, k int) ([]par.Neighbor, Stats) {
+	if k <= 0 {
+		return nil, Stats{}
+	}
+	nr := o.NumReps()
+	dim := o.db.Dim
+	st := Stats{RepEvals: int64(nr)}
+
+	repDists := make([]float64, nr)
+	metric.BatchDistances(o.m, q, o.repData.Data, dim, repDists)
+
+	probes := o.prm.Probes
+	if probes > nr {
+		probes = nr
+	}
+	probeHeap := par.NewKHeap(probes)
+	for j, d := range repDists {
+		probeHeap.Push(j, d)
+	}
+
+	h := par.NewKHeap(k)
+	// With multiple probes a point may appear on several scanned lists;
+	// dedupe so k-NN result sets contain distinct ids.
+	var seen map[int32]struct{}
+	if probes > 1 {
+		seen = make(map[int32]struct{}, probes*o.s)
+	}
+	var scratch [256]float64
+	for _, probe := range probeHeap.Results() {
+		j := probe.ID
+		st.RepsKept++
+		lo, hi := j*o.s, (j+1)*o.s
+		for blk := lo; blk < hi; blk += len(scratch) {
+			end := blk + len(scratch)
+			if end > hi {
+				end = hi
+			}
+			out := scratch[:end-blk]
+			metric.BatchDistances(o.m, q, o.gather[blk*dim:end*dim], dim, out)
+			for i, dd := range out {
+				id := o.ids[blk+i]
+				if seen != nil {
+					if _, dup := seen[id]; dup {
+						continue
+					}
+					seen[id] = struct{}{}
+				}
+				h.Push(int(id), dd)
+			}
+			st.PointEvals += int64(end - blk)
+		}
+	}
+	return h.Results(), st
+}
+
+// Search answers a batch of 1-NN queries in parallel and returns the
+// results plus aggregated stats.
+func (o *OneShot) Search(queries *vec.Dataset) ([]Result, Stats) {
+	o.checkDim(queries.Dim)
+	out := make([]Result, queries.N())
+	stats := make([]Stats, queries.N())
+	par.ForEach(queries.N(), 1, func(i int) {
+		out[i], stats[i] = o.One(queries.Row(i))
+	})
+	var agg Stats
+	for i := range stats {
+		agg.Add(stats[i])
+	}
+	return out, agg
+}
+
+// SearchK answers a batch of k-NN queries in parallel.
+func (o *OneShot) SearchK(queries *vec.Dataset, k int) ([][]par.Neighbor, Stats) {
+	o.checkDim(queries.Dim)
+	out := make([][]par.Neighbor, queries.N())
+	stats := make([]Stats, queries.N())
+	par.ForEach(queries.N(), 1, func(i int) {
+		out[i], stats[i] = o.KNN(queries.Row(i), k)
+	})
+	var agg Stats
+	for i := range stats {
+		agg.Add(stats[i])
+	}
+	return out, agg
+}
+
+// Certify reports whether the one-shot answer for q is guaranteed exact:
+// by the argument of Theorem 2, if ρ(q,r) ≤ ψ_r/2 for the nearest
+// representative r then q's true NN is necessarily on L_r. A false return
+// does not mean the answer is wrong — only unwitnessed.
+func (o *OneShot) Certify(q []float32) bool {
+	nr := o.NumReps()
+	repDists := make([]float64, nr)
+	metric.BatchDistances(o.m, q, o.repData.Data, o.db.Dim, repDists)
+	j, d := par.ArgMin(repDists)
+	return d <= o.radii[j]/2
+}
+
+func (o *OneShot) checkDim(dim int) {
+	if dim != o.db.Dim {
+		panic(fmt.Sprintf("core: query dim %d does not match database dim %d", dim, o.db.Dim))
+	}
+}

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/metric"
+	"repro/internal/vec"
+)
+
+// Index serialization. The database itself is not stored — only the cover
+// structure — so a saved index is small (O(n) integers) and reattaches to
+// the database it was built from. The metric is identified by name and
+// verified at load time.
+
+type exactSnapshot struct {
+	Version    int
+	MetricName string
+	DBN, DBDim int
+	Params     ExactParams
+	RepIDs     []int
+	Radii      []float64
+	Offsets    []int
+	IDs        []int32
+	Dists      []float64
+}
+
+const snapshotVersion = 1
+
+// Save writes the index structure (not the database) to w. Indexes with
+// pending mutations must be Rebuild-ed first (deletions persist as a
+// smaller index; tombstoned ids simply vanish from the saved lists, so a
+// reload requires the same database and treats them as unreachable).
+func (e *Exact) Save(w io.Writer) error {
+	if e.Dirty() {
+		return ErrDirtyIndex
+	}
+	snap := exactSnapshot{
+		Version:    snapshotVersion,
+		MetricName: e.m.Name(),
+		DBN:        e.db.N(),
+		DBDim:      e.db.Dim,
+		Params:     e.prm,
+		RepIDs:     e.repIDs,
+		Radii:      e.radii,
+		Offsets:    e.offsets,
+		IDs:        e.ids,
+		Dists:      e.dists,
+	}
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// LoadExact reads an index saved by Exact.Save and reattaches it to db and
+// m, which must match the originals (same size, dimension and metric
+// name). The gathered point buffer is rebuilt from db.
+func LoadExact(r io.Reader, db *vec.Dataset, m metric.Metric[[]float32]) (*Exact, error) {
+	var snap exactSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("core: decoding exact index: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("core: unsupported index version %d", snap.Version)
+	}
+	if snap.MetricName != m.Name() {
+		return nil, fmt.Errorf("core: index was built with metric %q, not %q", snap.MetricName, m.Name())
+	}
+	if snap.DBN != db.N() || snap.DBDim != db.Dim {
+		return nil, fmt.Errorf("core: index was built over a %dx%d database, got %dx%d",
+			snap.DBN, snap.DBDim, db.N(), db.Dim)
+	}
+	if len(snap.IDs) != db.N() || len(snap.Offsets) != len(snap.RepIDs)+1 {
+		return nil, fmt.Errorf("core: corrupt index structure")
+	}
+	isRep := make([]bool, db.N())
+	for _, id := range snap.RepIDs {
+		if id < 0 || id >= db.N() {
+			return nil, fmt.Errorf("core: representative id %d out of range", id)
+		}
+		isRep[id] = true
+	}
+	gather := make([]float32, db.N()*db.Dim)
+	for p, id := range snap.IDs {
+		if int(id) < 0 || int(id) >= db.N() {
+			return nil, fmt.Errorf("core: member id %d out of range", id)
+		}
+		copy(gather[p*db.Dim:(p+1)*db.Dim], db.Row(int(id)))
+	}
+	return &Exact{
+		db: db, m: m, prm: snap.Params,
+		repIDs: snap.RepIDs, repData: db.Subset(snap.RepIDs),
+		radii: snap.Radii, isRep: isRep,
+		offsets: snap.Offsets, ids: snap.IDs, dists: snap.Dists,
+		gather: gather,
+	}, nil
+}
+
+type oneShotSnapshot struct {
+	Version    int
+	MetricName string
+	DBN, DBDim int
+	Params     OneShotParams
+	RepIDs     []int
+	Radii      []float64
+	S          int
+	IDs        []int32
+}
+
+// Save writes the index structure (not the database) to w.
+func (o *OneShot) Save(w io.Writer) error {
+	snap := oneShotSnapshot{
+		Version:    snapshotVersion,
+		MetricName: o.m.Name(),
+		DBN:        o.db.N(),
+		DBDim:      o.db.Dim,
+		Params:     o.prm,
+		RepIDs:     o.repIDs,
+		Radii:      o.radii,
+		S:          o.s,
+		IDs:        o.ids,
+	}
+	return gob.NewEncoder(w).Encode(&snap)
+}
+
+// LoadOneShot reads an index saved by OneShot.Save and reattaches it to db
+// and m.
+func LoadOneShot(r io.Reader, db *vec.Dataset, m metric.Metric[[]float32]) (*OneShot, error) {
+	var snap oneShotSnapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("core: decoding one-shot index: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("core: unsupported index version %d", snap.Version)
+	}
+	if snap.MetricName != m.Name() {
+		return nil, fmt.Errorf("core: index was built with metric %q, not %q", snap.MetricName, m.Name())
+	}
+	if snap.DBN != db.N() || snap.DBDim != db.Dim {
+		return nil, fmt.Errorf("core: index was built over a %dx%d database, got %dx%d",
+			snap.DBN, snap.DBDim, db.N(), db.Dim)
+	}
+	if len(snap.IDs) != len(snap.RepIDs)*snap.S {
+		return nil, fmt.Errorf("core: corrupt index structure")
+	}
+	gather := make([]float32, len(snap.IDs)*db.Dim)
+	for p, id := range snap.IDs {
+		if int(id) < 0 || int(id) >= db.N() {
+			return nil, fmt.Errorf("core: member id %d out of range", id)
+		}
+		copy(gather[p*db.Dim:(p+1)*db.Dim], db.Row(int(id)))
+	}
+	return &OneShot{
+		db: db, m: m, prm: snap.Params,
+		repIDs: snap.RepIDs, repData: db.Subset(snap.RepIDs),
+		radii: snap.Radii, s: snap.S, ids: snap.IDs, gather: gather,
+	}, nil
+}

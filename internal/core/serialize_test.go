@@ -1,0 +1,155 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/metric"
+	"repro/internal/vec"
+)
+
+func TestExactSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	db := clusteredDataset(rng, 600, 5, 6)
+	m := metric.Euclidean{}
+	e, err := BuildExact(db, m, ExactParams{Seed: 3, EarlyExit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadExact(&buf, db, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := randomDataset(rng, 40, 5)
+	for i := 0; i < queries.N(); i++ {
+		q := queries.Row(i)
+		a, _ := e.One(q)
+		b, _ := loaded.One(q)
+		if a != b {
+			t.Fatalf("query %d: original %+v loaded %+v", i, a, b)
+		}
+	}
+	ka, _ := e.KNN(queries.Row(0), 5)
+	kb, _ := loaded.KNN(queries.Row(0), 5)
+	for j := range ka {
+		if ka[j] != kb[j] {
+			t.Fatal("knn mismatch after load")
+		}
+	}
+}
+
+func TestOneShotSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	db := clusteredDataset(rng, 500, 4, 5)
+	m := metric.Euclidean{}
+	o, err := BuildOneShot(db, m, OneShotParams{NumReps: 30, S: 30, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := o.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadOneShot(&buf, db, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := randomDataset(rng, 30, 4)
+	for i := 0; i < queries.N(); i++ {
+		q := queries.Row(i)
+		a, _ := o.One(q)
+		b, _ := loaded.One(q)
+		if a != b {
+			t.Fatalf("query %d: original %+v loaded %+v", i, a, b)
+		}
+	}
+}
+
+func TestLoadExactValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	db := randomDataset(rng, 200, 3)
+	m := metric.Euclidean{}
+	e, err := BuildExact(db, m, ExactParams{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	save := func() *bytes.Buffer {
+		var buf bytes.Buffer
+		if err := e.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return &buf
+	}
+	// Wrong metric.
+	if _, err := LoadExact(save(), db, metric.Manhattan{}); err == nil {
+		t.Fatal("metric mismatch should error")
+	}
+	// Wrong database size.
+	other := randomDataset(rng, 100, 3)
+	if _, err := LoadExact(save(), other, m); err == nil {
+		t.Fatal("db size mismatch should error")
+	}
+	// Wrong dimension.
+	wrongDim := randomDataset(rng, 200, 4)
+	if _, err := LoadExact(save(), wrongDim, m); err == nil {
+		t.Fatal("db dim mismatch should error")
+	}
+	// Garbage stream.
+	if _, err := LoadExact(bytes.NewReader([]byte("not a gob")), db, m); err == nil {
+		t.Fatal("garbage should error")
+	}
+}
+
+func TestLoadOneShotValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	db := randomDataset(rng, 150, 3)
+	m := metric.Euclidean{}
+	o, err := BuildOneShot(db, m, OneShotParams{NumReps: 12, S: 12, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := o.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadOneShot(bytes.NewReader(buf.Bytes()), db, metric.Chebyshev{}); err == nil {
+		t.Fatal("metric mismatch should error")
+	}
+	if _, err := LoadOneShot(bytes.NewReader([]byte("junk")), db, m); err == nil {
+		t.Fatal("garbage should error")
+	}
+	other := randomDataset(rng, 150, 5)
+	if _, err := LoadOneShot(bytes.NewReader(buf.Bytes()), other, m); err == nil {
+		t.Fatal("dim mismatch should error")
+	}
+}
+
+func TestSaveLoadPreservesStatsBehaviour(t *testing.T) {
+	// The loaded index must prune identically, not just answer identically.
+	rng := rand.New(rand.NewSource(5))
+	db := clusteredDataset(rng, 800, 5, 8)
+	m := metric.Euclidean{}
+	e, err := BuildExact(db, m, ExactParams{Seed: 6, EarlyExit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadExact(&buf, db, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := vec.FromRows([][]float32{db.Row(17)}).Row(0)
+	_, sa := e.One(q)
+	_, sb := loaded.One(q)
+	if sa != sb {
+		t.Fatalf("stats diverge: %+v vs %+v", sa, sb)
+	}
+}

@@ -1,0 +1,63 @@
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/vec"
+)
+
+// Entry describes one of the paper's benchmark workloads: its name as it
+// appears in the figures, its reference size at scale 1 (the paper's
+// Table 1 cardinality), and its generator.
+type Entry struct {
+	// Name matches the labels used in the paper's figures ("bio", "cov",
+	// "phy", "robot", "tiny4" … "tiny32").
+	Name string
+	// PaperN is the dataset size used in the paper.
+	PaperN int
+	// Dim is the ambient dimension.
+	Dim int
+	// Generate builds n points with the given seed.
+	Generate func(n int, seed int64) *vec.Dataset
+}
+
+// Catalog returns the paper's eight workloads (Table 1, with TinyIm at
+// its four projection dimensions) in the order the figures present them.
+func Catalog() []Entry {
+	return []Entry{
+		{Name: "bio", PaperN: BioN, Dim: BioDim, Generate: Bio},
+		{Name: "cov", PaperN: CovertypeN, Dim: CovertypeDim, Generate: Covertype},
+		{Name: "phy", PaperN: PhysicsN, Dim: PhysicsDim, Generate: Physics},
+		{Name: "robot", PaperN: RobotN, Dim: RobotDim, Generate: Robot},
+		{Name: "tiny4", PaperN: TinyImN, Dim: 4, Generate: func(n int, seed int64) *vec.Dataset { return TinyImages(n, 4, seed) }},
+		{Name: "tiny8", PaperN: TinyImN, Dim: 8, Generate: func(n int, seed int64) *vec.Dataset { return TinyImages(n, 8, seed) }},
+		{Name: "tiny16", PaperN: TinyImN, Dim: 16, Generate: func(n int, seed int64) *vec.Dataset { return TinyImages(n, 16, seed) }},
+		{Name: "tiny32", PaperN: TinyImN, Dim: 32, Generate: func(n int, seed int64) *vec.Dataset { return TinyImages(n, 32, seed) }},
+	}
+}
+
+// ByName returns the catalog entry with the given name.
+func ByName(name string) (Entry, error) {
+	for _, e := range Catalog() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	names := make([]string, 0, 8)
+	for _, e := range Catalog() {
+		names = append(names, e.Name)
+	}
+	sort.Strings(names)
+	return Entry{}, fmt.Errorf("dataset: unknown workload %q (have %v)", name, names)
+}
+
+// ScaledN maps the paper's reference size through a scale factor, with a
+// floor so tiny scales still produce a workable database.
+func (e Entry) ScaledN(scale float64) int {
+	n := int(float64(e.PaperN) * scale)
+	if n < 256 {
+		n = 256
+	}
+	return n
+}

@@ -1,0 +1,230 @@
+package distributed
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bruteforce"
+	"repro/internal/core"
+	"repro/internal/metric"
+	"repro/internal/vec"
+)
+
+func clustered(rng *rand.Rand, n, dim, k int) *vec.Dataset {
+	centers := make([][]float32, k)
+	for i := range centers {
+		centers[i] = make([]float32, dim)
+		for j := range centers[i] {
+			centers[i][j] = rng.Float32()*20 - 10
+		}
+	}
+	d := vec.New(dim, n)
+	row := make([]float32, dim)
+	for i := 0; i < n; i++ {
+		c := centers[rng.Intn(k)]
+		for j := range row {
+			row[j] = c[j] + float32(rng.NormFloat64())*0.3
+		}
+		d.Append(row)
+	}
+	return d
+}
+
+func TestBuildValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	db := clustered(rng, 200, 4, 4)
+	if _, err := Build(db, metric.Euclidean{}, core.ExactParams{}, 0, DefaultCostModel()); err == nil {
+		t.Fatal("0 shards should error")
+	}
+	var empty vec.Dataset
+	if _, err := Build(&empty, metric.Euclidean{}, core.ExactParams{}, 2, DefaultCostModel()); err == nil {
+		t.Fatal("empty db should error")
+	}
+}
+
+func TestRoutedQueryIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	db := clustered(rng, 1500, 5, 10)
+	m := metric.Euclidean{}
+	cl, err := Build(db, m, core.ExactParams{Seed: 3}, 4, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for trial := 0; trial < 50; trial++ {
+		q := make([]float32, 5)
+		for j := range q {
+			q[j] = rng.Float32()*20 - 10
+		}
+		got, _ := cl.Query(q)
+		want := bruteforce.SearchOne(q, db, m, nil)
+		if got.Dist != want.Dist {
+			t.Fatalf("trial %d: got %v want %v", trial, got.Dist, want.Dist)
+		}
+	}
+}
+
+func TestBroadcastQueryIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	db := clustered(rng, 800, 4, 6)
+	m := metric.Euclidean{}
+	cl, err := Build(db, m, core.ExactParams{Seed: 5}, 3, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for trial := 0; trial < 30; trial++ {
+		q := make([]float32, 4)
+		for j := range q {
+			q[j] = rng.Float32()*20 - 10
+		}
+		got, met := cl.QueryBroadcast(q)
+		want := bruteforce.SearchOne(q, db, m, nil)
+		if got.Dist != want.Dist {
+			t.Fatalf("trial %d: got %v want %v", trial, got.Dist, want.Dist)
+		}
+		if met.ShardsContacted != 3 {
+			t.Fatalf("broadcast must contact all shards, got %d", met.ShardsContacted)
+		}
+	}
+}
+
+func TestRoutingContactsFewerShards(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	db := clustered(rng, 3000, 6, 12)
+	m := metric.Euclidean{}
+	const shards = 8
+	cl, err := Build(db, m, core.ExactParams{Seed: 7}, shards, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	var routed, broadcast QueryMetrics
+	const queries = 40
+	for trial := 0; trial < queries; trial++ {
+		q := db.Row(rng.Intn(db.N()))
+		_, mr := cl.Query(q)
+		routed.Add(mr)
+		_, mb := cl.QueryBroadcast(q)
+		broadcast.Add(mb)
+	}
+	if routed.ShardsContacted >= broadcast.ShardsContacted {
+		t.Fatalf("routing contacted %d shards vs broadcast %d — no savings",
+			routed.ShardsContacted, broadcast.ShardsContacted)
+	}
+	if routed.Evals >= broadcast.Evals {
+		t.Fatalf("routing evals %d >= broadcast %d", routed.Evals, broadcast.Evals)
+	}
+	if routed.Bytes >= broadcast.Bytes {
+		t.Fatalf("routing bytes %d >= broadcast %d", routed.Bytes, broadcast.Bytes)
+	}
+}
+
+func TestShardLoadsBalanced(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	db := clustered(rng, 2000, 4, 16)
+	cl, err := Build(db, metric.Euclidean{}, core.ExactParams{Seed: 9}, 4, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	loads := cl.ShardLoads()
+	if len(loads) != 4 {
+		t.Fatalf("loads: %v", loads)
+	}
+	total, max, min := 0, 0, 1<<62
+	for _, l := range loads {
+		total += l
+		if l > max {
+			max = l
+		}
+		if l < min {
+			min = l
+		}
+	}
+	if total != db.N() {
+		t.Fatalf("shards hold %d points, want %d", total, db.N())
+	}
+	// LPT assignment should keep the imbalance modest.
+	if max > 3*min+50 {
+		t.Fatalf("severe imbalance: %v", loads)
+	}
+}
+
+func TestQueryMetricsPopulated(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	db := clustered(rng, 600, 4, 5)
+	cl, err := Build(db, metric.Euclidean{}, core.ExactParams{Seed: 11}, 2, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	_, met := cl.Query(db.Row(0))
+	if met.Evals == 0 || met.SimTimeUS <= 0 && met.ShardsContacted > 0 {
+		t.Fatalf("metrics: %+v", met)
+	}
+	if met.Messages != 2*met.ShardsContacted {
+		t.Fatalf("messages %d for %d shards", met.Messages, met.ShardsContacted)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	db := clustered(rng, 300, 3, 3)
+	cl, err := Build(db, metric.Euclidean{}, core.ExactParams{Seed: 13}, 2, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Close()
+	cl.Close() // must not panic
+}
+
+func TestSingleShardDegeneratesToExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	db := clustered(rng, 500, 4, 4)
+	m := metric.Euclidean{}
+	cl, err := Build(db, m, core.ExactParams{Seed: 15}, 1, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	q := db.Row(42)
+	got, met := cl.Query(q)
+	if got.Dist != 0 {
+		t.Fatalf("self-query: %+v", got)
+	}
+	if met.ShardsContacted > 1 {
+		t.Fatalf("single shard contacted %d times", met.ShardsContacted)
+	}
+}
+
+// Property: routed distributed answers always equal single-machine brute
+// force, over random shard counts and seeds.
+func TestQuickDistributedExact(t *testing.T) {
+	m := metric.Euclidean{}
+	f := func(seed int64, shardsRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		shards := int(shardsRaw)%6 + 1
+		db := clustered(rng, 400, 3, 5)
+		cl, err := Build(db, m, core.ExactParams{Seed: seed}, shards, DefaultCostModel())
+		if err != nil {
+			return false
+		}
+		defer cl.Close()
+		for trial := 0; trial < 5; trial++ {
+			q := make([]float32, 3)
+			for j := range q {
+				q[j] = rng.Float32()*20 - 10
+			}
+			got, _ := cl.Query(q)
+			if got.Dist != bruteforce.SearchOne(q, db, m, nil).Dist {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

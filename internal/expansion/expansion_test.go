@@ -1,0 +1,192 @@
+package expansion
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/metric"
+	"repro/internal/vec"
+)
+
+// grid builds the paper's motivating example: an axis grid in d dimensions
+// under l1, whose expansion rate is exactly 2^d.
+func grid(side, dim int) *vec.Dataset {
+	n := 1
+	for i := 0; i < dim; i++ {
+		n *= side
+	}
+	d := vec.New(dim, n)
+	idx := make([]int, dim)
+	for i := 0; i < n; i++ {
+		row := make([]float32, dim)
+		for j := 0; j < dim; j++ {
+			row[j] = float32(idx[j])
+		}
+		d.Append(row)
+		for j := 0; j < dim; j++ {
+			idx[j]++
+			if idx[j] < side {
+				break
+			}
+			idx[j] = 0
+		}
+	}
+	return d
+}
+
+func TestGridExpansionTracksDimension(t *testing.T) {
+	// The estimated growth dimension of a d-dimensional grid under l1
+	// should increase with d and sit in the right ballpark.
+	est1 := Vectors(grid(64, 1), metric.Manhattan{}, Options{Samples: 16, Seed: 1})
+	est2 := Vectors(grid(24, 2), metric.Manhattan{}, Options{Samples: 16, Seed: 1})
+	est3 := Vectors(grid(9, 3), metric.Manhattan{}, Options{Samples: 16, Seed: 1})
+	if est1.Dim <= 0 || est2.Dim <= est1.Dim || est3.Dim <= est2.Dim {
+		t.Fatalf("dims not increasing: %v %v %v", est1.Dim, est2.Dim, est3.Dim)
+	}
+	// 1-D grid: c = 2 away from boundary; allow slack for edge effects.
+	if est1.CMedian < 1.5 || est1.CMedian > 3.5 {
+		t.Fatalf("1-D grid CMedian=%v, want ≈2", est1.CMedian)
+	}
+}
+
+func TestLowDimManifoldInHighAmbient(t *testing.T) {
+	// Points on a 2-D plane embedded in 20 dims must report ~2-D growth,
+	// not 20 — the whole point of intrinsic dimensionality.
+	rng := rand.New(rand.NewSource(2))
+	n := 1500
+	d := vec.New(20, n)
+	for i := 0; i < n; i++ {
+		u, v := rng.Float64()*10, rng.Float64()*10
+		row := make([]float32, 20)
+		for j := 0; j < 20; j++ {
+			row[j] = float32(u*float64(j%3) + v*float64((j+1)%2))
+		}
+		d.Append(row)
+	}
+	est := Vectors(d, metric.Euclidean{}, Options{Samples: 24, Seed: 3})
+	if est.Dim > 5 {
+		t.Fatalf("planar data reported growth dim %v; ambient leakage", est.Dim)
+	}
+	if est.Dim <= 0.5 {
+		t.Fatalf("planar data reported degenerate dim %v", est.Dim)
+	}
+}
+
+func TestHigherIntrinsicDimRanksHigher(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	mk := func(dim int) *vec.Dataset {
+		d := vec.New(dim, 1200)
+		for i := 0; i < 1200; i++ {
+			row := make([]float32, dim)
+			for j := range row {
+				row[j] = rng.Float32()
+			}
+			d.Append(row)
+		}
+		return d
+	}
+	lo := Vectors(mk(2), metric.Euclidean{}, Options{Samples: 24, Seed: 5})
+	hi := Vectors(mk(8), metric.Euclidean{}, Options{Samples: 24, Seed: 5})
+	if hi.Dim <= lo.Dim {
+		t.Fatalf("uniform 8-D (dim=%v) should exceed uniform 2-D (dim=%v)", hi.Dim, lo.Dim)
+	}
+}
+
+func TestGenericMatchesVectors(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	n := 300
+	d := vec.New(3, n)
+	for i := 0; i < n; i++ {
+		d.Append([]float32{rng.Float32(), rng.Float32(), rng.Float32()})
+	}
+	ev := Vectors(d, metric.Euclidean{}, Options{Samples: 10, Seed: 7})
+	eg := Generic(d.Rows(), metric.Metric[[]float32](metric.Euclidean{}), Options{Samples: 10, Seed: 7})
+	if math.Abs(ev.CMax-eg.CMax) > 1e-9 || math.Abs(ev.CMedian-eg.CMedian) > 1e-9 {
+		t.Fatalf("vector %+v vs generic %+v", ev, eg)
+	}
+}
+
+func TestEditDistanceSpace(t *testing.T) {
+	// §6: the expansion rate "makes sense for the edit distance on
+	// strings". A dictionary of root words with tight morphological
+	// variants must report lower growth than uniformly random strings.
+	rng := rand.New(rand.NewSource(8))
+	randWord := func(l int) string {
+		b := make([]byte, l)
+		for i := range b {
+			b[i] = byte('a' + rng.Intn(26))
+		}
+		return string(b)
+	}
+	uniform := make([]string, 400)
+	for i := range uniform {
+		uniform[i] = randWord(10)
+	}
+	// A "chain" of prefixes a, aa, aaa, … has edit distance |i−j|: it is
+	// isometric to a 1-D grid, the paper's own expansion example, so the
+	// estimator must report growth dimension ≈ 1.
+	chain := make([]string, 400)
+	word := make([]byte, 0, 400)
+	for i := range chain {
+		word = append(word, 'a')
+		chain[i] = string(word)
+	}
+	m := metric.Metric[string](metric.Edit{})
+	opts := Options{Samples: 16, Seed: 9}
+	eu := Generic(uniform, m, opts)
+	ec := Generic(chain, m, opts)
+	if ec.Dim >= eu.Dim {
+		t.Fatalf("1-D chain dim %v should be below uniform strings %v", ec.Dim, eu.Dim)
+	}
+	if ec.CMedian < 1.5 || ec.CMedian > 3.5 {
+		t.Fatalf("chain CMedian %v, want ≈2 (1-D grid)", ec.CMedian)
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	var empty vec.Dataset
+	if est := Vectors(&empty, metric.Euclidean{}, Options{}); est.Samples != 0 {
+		t.Fatalf("empty: %+v", est)
+	}
+	single := vec.FromRows([][]float32{{1, 2}})
+	est := Vectors(single, metric.Euclidean{}, Options{})
+	if est.Samples != 1 {
+		t.Fatalf("singleton: %+v", est)
+	}
+	// All-identical points: no positive radius exists; CMax defaults to 1.
+	same := vec.FromRows([][]float32{{1}, {1}, {1}, {1}})
+	est = Vectors(same, metric.Euclidean{}, Options{})
+	if est.CMax != 1 {
+		t.Fatalf("identical points: %+v", est)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Samples != 32 || o.MinBall != 8 {
+		t.Fatalf("defaults: %+v", o)
+	}
+	o = Options{Samples: 5, MinBall: 3}.withDefaults()
+	if o.Samples != 5 || o.MinBall != 3 {
+		t.Fatalf("overrides: %+v", o)
+	}
+}
+
+func TestMaxDoublingRatio(t *testing.T) {
+	// Uniform 1-D profile: |B(r)| grows linearly, so doubling ≈ 2.
+	sorted := make([]float64, 200)
+	for i := range sorted {
+		sorted[i] = float64(i)
+	}
+	got := maxDoublingRatio(sorted, 8)
+	if got < 1.8 || got > 2.3 {
+		t.Fatalf("linear profile ratio %v, want ≈2", got)
+	}
+	if maxDoublingRatio(nil, 8) != 0 {
+		t.Fatal("empty profile")
+	}
+	if maxDoublingRatio([]float64{0, 0, 0}, 2) != 0 {
+		t.Fatal("all-zero profile")
+	}
+}

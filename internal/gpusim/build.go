@@ -1,0 +1,63 @@
+package gpusim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bruteforce"
+	"repro/internal/metric"
+	"repro/internal/par"
+	"repro/internal/vec"
+)
+
+// BuildOneShotIndex constructs the device-resident one-shot RBC structure.
+// As in the paper's implementation, the index is built host-side (the
+// build is itself two brute-force calls, but it is a one-time cost) and
+// "uploaded" — here, laid out in the contiguous arrays the kernels scan.
+func BuildOneShotIndex(db *vec.Dataset, numReps, s int, seed int64) (*OneShotIndex, error) {
+	n := db.N()
+	if n == 0 {
+		return nil, fmt.Errorf("gpusim: empty database")
+	}
+	if numReps <= 0 || numReps > n {
+		return nil, fmt.Errorf("gpusim: numReps %d out of range (n=%d)", numReps, n)
+	}
+	if s <= 0 {
+		s = numReps
+	}
+	if s > n {
+		s = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(n)[:numReps]
+	repIDs := make([]int32, numReps)
+	for i, p := range perm {
+		repIDs[i] = int32(p)
+	}
+	repData := vec.New(db.Dim, numReps)
+	for _, p := range perm {
+		repData.Append(db.Row(p))
+	}
+	idx := &OneShotIndex{
+		RepData: repData,
+		RepIDs:  repIDs,
+		S:       s,
+		ListIDs: make(IReg, numReps*s),
+		ListPts: vec.New(db.Dim, numReps*s),
+	}
+	lists := make([][]par.Neighbor, numReps)
+	par.ForEach(numReps, 1, func(j int) {
+		lists[j] = bruteforce.SearchOneK(repData.Row(j), db, s, metric.Euclidean{}, nil)
+	})
+	for j := 0; j < numReps; j++ {
+		for i, nb := range lists[j] {
+			idx.ListIDs[j*s+i] = int32(nb.ID)
+		}
+	}
+	for j := 0; j < numReps; j++ {
+		for i := range lists[j] {
+			idx.ListPts.Append(db.Row(int(idx.ListIDs[j*s+i])))
+		}
+	}
+	return idx, nil
+}

@@ -1,0 +1,144 @@
+// Package gpusim is a cycle-accounting SIMT (GPU-style) manycore
+// simulator, standing in for the NVIDIA Tesla c2050 of the paper's §7.3.
+//
+// The paper's GPU claims rest on three architectural facts:
+//
+//  1. uniform, coalesced kernels (brute-force distance scans, reductions)
+//     run at full device throughput;
+//  2. divergent, conditional kernels (tree traversals) serialize both
+//     branch paths per warp and scatter their memory accesses; and
+//  3. the RBC one-shot search is built entirely from kernels of kind (1),
+//     so the work reduction it offers translates into wall-clock speedup.
+//
+// The simulator models exactly those effects: kernels are written against
+// a warp-level vector API; every instruction costs one issue slot per
+// warp, divergent branches execute both sides under an active-lane mask,
+// and global memory costs are counted in coalesced 128-byte transactions.
+// Simulated cycles are reported as
+//
+//	cycles = max over SMs of Σ (issue slots + memory slots) of its warps
+//
+// — a throughput model in which latency is hidden by occupancy, which is
+// the regime brute-force-shaped kernels actually operate in.
+package gpusim
+
+import "fmt"
+
+// Config describes the simulated device. The zero value is unusable; use
+// DefaultConfig (modeled loosely on the Tesla c2050: 14 SMs, 32-wide
+// warps).
+type Config struct {
+	// SMs is the number of streaming multiprocessors.
+	SMs int
+	// WarpSize is the number of lanes per warp.
+	WarpSize int
+	// MemCyclesPerTransaction is the bandwidth cost, in issue slots, of
+	// one 128-byte global-memory transaction.
+	MemCyclesPerTransaction int
+	// TransactionBytes is the coalescing granularity.
+	TransactionBytes int
+}
+
+// DefaultConfig returns a c2050-flavoured device model.
+func DefaultConfig() Config {
+	return Config{SMs: 14, WarpSize: 32, MemCyclesPerTransaction: 8, TransactionBytes: 128}
+}
+
+func (c Config) validate() error {
+	if c.SMs <= 0 || c.WarpSize <= 0 || c.MemCyclesPerTransaction <= 0 || c.TransactionBytes <= 0 {
+		return fmt.Errorf("gpusim: invalid config %+v", c)
+	}
+	return nil
+}
+
+// Stats accumulates simulated execution costs for one or more launches.
+type Stats struct {
+	// Cycles is the simulated wall-clock of the device: the busiest SM's
+	// total issue+memory slots.
+	Cycles int64
+	// Instructions counts warp-instructions issued (all lanes of a warp
+	// issuing one op = 1 instruction).
+	Instructions int64
+	// MemTransactions counts global-memory transactions after coalescing.
+	MemTransactions int64
+	// DivergentBranches counts warp branches whose lanes disagreed,
+	// forcing both paths to execute.
+	DivergentBranches int64
+	// UniformBranches counts warp branches where all lanes agreed.
+	UniformBranches int64
+	// WarpsLaunched counts warps across all launches.
+	WarpsLaunched int64
+}
+
+// Add accumulates o into s (Cycles add serially: launches are dependent).
+func (s *Stats) Add(o Stats) {
+	s.Cycles += o.Cycles
+	s.Instructions += o.Instructions
+	s.MemTransactions += o.MemTransactions
+	s.DivergentBranches += o.DivergentBranches
+	s.UniformBranches += o.UniformBranches
+	s.WarpsLaunched += o.WarpsLaunched
+}
+
+// DivergenceRatio is the fraction of branches that diverged.
+func (s Stats) DivergenceRatio() float64 {
+	total := s.DivergentBranches + s.UniformBranches
+	if total == 0 {
+		return 0
+	}
+	return float64(s.DivergentBranches) / float64(total)
+}
+
+// Device is a simulated GPU. Methods are not safe for concurrent use; the
+// experiments drive one device per goroutine.
+type Device struct {
+	cfg Config
+}
+
+// NewDevice creates a device with the given configuration.
+func NewDevice(cfg Config) (*Device, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Device{cfg: cfg}, nil
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Kernel is the body executed by every warp of a launch. The Warp
+// argument exposes the vector ISA; warpID identifies the warp within the
+// launch grid.
+type Kernel func(w *Warp, warpID int)
+
+// Launch runs the kernel over `warps` warps distributed round-robin over
+// the SMs and returns the launch's stats. Lanes of warp w have global
+// thread ids w*WarpSize+lane. Memory effects happen eagerly in host
+// memory; costs are accounted per the model above.
+func (d *Device) Launch(warps int, k Kernel) Stats {
+	var st Stats
+	if warps <= 0 {
+		return st
+	}
+	smCycles := make([]int64, d.cfg.SMs)
+	for wid := 0; wid < warps; wid++ {
+		w := &Warp{dev: d, width: d.cfg.WarpSize}
+		w.active = make([]bool, w.width)
+		for i := range w.active {
+			w.active[i] = true
+		}
+		k(w, wid)
+		st.Instructions += w.instructions
+		st.MemTransactions += w.transactions
+		st.DivergentBranches += w.divergent
+		st.UniformBranches += w.uniform
+		st.WarpsLaunched++
+		smCycles[wid%d.cfg.SMs] += w.cycles
+	}
+	for _, c := range smCycles {
+		if c > st.Cycles {
+			st.Cycles = c
+		}
+	}
+	return st
+}

@@ -1,0 +1,373 @@
+package gpusim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bruteforce"
+	"repro/internal/metric"
+	"repro/internal/vec"
+)
+
+func testDevice(t *testing.T) *Device {
+	t.Helper()
+	d, err := NewDevice(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func randomDataset(rng *rand.Rand, n, dim int) *vec.Dataset {
+	d := vec.New(dim, n)
+	for i := 0; i < n; i++ {
+		row := make([]float32, dim)
+		for j := range row {
+			row[j] = rng.Float32()*2 - 1
+		}
+		d.Append(row)
+	}
+	return d
+}
+
+func TestNewDeviceValidation(t *testing.T) {
+	if _, err := NewDevice(Config{}); err == nil {
+		t.Fatal("zero config should error")
+	}
+	if _, err := NewDevice(DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWarpArithmetic(t *testing.T) {
+	d := testDevice(t)
+	var sum, fma, sqrt float32
+	d.Launch(1, func(w *Warp, _ int) {
+		a := w.ConstF(3)
+		b := w.ConstF(4)
+		sum = w.Add(a, b)[0]
+		fma = w.FMA(a, b, w.ConstF(1))[0]
+		sqrt = w.Sqrt(w.Mul(b, b))[0]
+	})
+	if sum != 7 || fma != 13 || sqrt != 4 {
+		t.Fatalf("sum=%v fma=%v sqrt=%v", sum, fma, sqrt)
+	}
+}
+
+func TestWarpLaneAndInteger(t *testing.T) {
+	d := testDevice(t)
+	var lane0, lane31 int32
+	var prod int32
+	d.Launch(1, func(w *Warp, _ int) {
+		l := w.LaneID()
+		lane0, lane31 = l[0], l[31]
+		prod = w.MulI(w.ConstI(6), w.ConstI(7))[0]
+	})
+	if lane0 != 0 || lane31 != 31 || prod != 42 {
+		t.Fatalf("lanes %d %d prod %d", lane0, lane31, prod)
+	}
+}
+
+func TestDivergenceAccounting(t *testing.T) {
+	d := testDevice(t)
+	st := d.Launch(1, func(w *Warp, _ int) {
+		l := w.LaneID()
+		// Half the lanes take each side: divergent.
+		m := w.LessI(l, w.ConstI(16))
+		w.If(m, func() {}, func() {})
+		// All lanes agree: uniform.
+		m2 := w.LessI(l, w.ConstI(64))
+		w.If(m2, func() {}, func() {})
+	})
+	if st.DivergentBranches != 1 || st.UniformBranches != 1 {
+		t.Fatalf("branches: %+v", st)
+	}
+	if r := st.DivergenceRatio(); r != 0.5 {
+		t.Fatalf("ratio %v", r)
+	}
+}
+
+func TestDivergenceExecutesBothSides(t *testing.T) {
+	d := testDevice(t)
+	thenRan, elseRan := false, false
+	d.Launch(1, func(w *Warp, _ int) {
+		m := w.LessI(w.LaneID(), w.ConstI(1)) // only lane 0 true
+		w.If(m, func() { thenRan = true }, func() { elseRan = true })
+	})
+	if !thenRan || !elseRan {
+		t.Fatal("divergent branch must execute both paths")
+	}
+}
+
+func TestMaskedLanesDoNotWrite(t *testing.T) {
+	d := testDevice(t)
+	mem := make([]float32, 32)
+	d.Launch(1, func(w *Warp, _ int) {
+		m := w.LessI(w.LaneID(), w.ConstI(4))
+		w.If(m, func() {
+			w.StoreGlobal(mem, w.LaneID(), w.ConstF(1))
+		}, nil)
+	})
+	for i, v := range mem {
+		want := float32(0)
+		if i < 4 {
+			want = 1
+		}
+		if v != want {
+			t.Fatalf("mem[%d]=%v", i, v)
+		}
+	}
+}
+
+func TestCoalescingModel(t *testing.T) {
+	d := testDevice(t)
+	mem := make([]float32, 4096)
+	// Coalesced: 32 consecutive floats = 128 bytes = 1 transaction.
+	st1 := d.Launch(1, func(w *Warp, _ int) {
+		w.LoadGlobal(mem, w.LaneID())
+	})
+	if st1.MemTransactions != 1 {
+		t.Fatalf("coalesced load: %d transactions, want 1", st1.MemTransactions)
+	}
+	// Scattered: stride 32 → every lane hits its own segment.
+	st2 := d.Launch(1, func(w *Warp, _ int) {
+		w.LoadGlobal(mem, w.MulI(w.LaneID(), w.ConstI(32)))
+	})
+	if st2.MemTransactions != 32 {
+		t.Fatalf("scattered load: %d transactions, want 32", st2.MemTransactions)
+	}
+	if st2.Cycles <= st1.Cycles {
+		t.Fatal("scattered loads must cost more cycles")
+	}
+}
+
+func TestNegativeIndexIsMaskedLoad(t *testing.T) {
+	d := testDevice(t)
+	mem := []float32{5, 6, 7}
+	var got Reg
+	st := d.Launch(1, func(w *Warp, _ int) {
+		idx := w.ConstI(-1)
+		got = w.LoadGlobal(mem, idx)
+	})
+	if got[0] != 0 {
+		t.Fatal("masked load should produce zero")
+	}
+	if st.MemTransactions != 0 {
+		t.Fatal("masked load should cost no transactions")
+	}
+}
+
+func TestReduceMin(t *testing.T) {
+	d := testDevice(t)
+	var v float32
+	var lane int
+	d.Launch(1, func(w *Warp, _ int) {
+		vals := make(Reg, w.Width())
+		for i := range vals {
+			vals[i] = float32(100 - i)
+		}
+		vals[7] = -5
+		v, lane = w.ReduceMin(vals)
+	})
+	if v != -5 || lane != 7 {
+		t.Fatalf("ReduceMin: %v lane %d", v, lane)
+	}
+}
+
+func TestReduceMinWithIndexTies(t *testing.T) {
+	d := testDevice(t)
+	var idx int32
+	d.Launch(1, func(w *Warp, _ int) {
+		vals := w.ConstF(1) // all tie
+		payload := make(IReg, w.Width())
+		for i := range payload {
+			payload[i] = int32(100 - i) // lowest payload on lane 31
+		}
+		_, idx = w.ReduceMinWithIndex(vals, payload)
+	})
+	if idx != 69 {
+		t.Fatalf("tie should pick smallest payload, got %d", idx)
+	}
+}
+
+func TestSMLoadBalancing(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SMs = 2
+	d, err := NewDevice(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 identical warps over 2 SMs: device cycles should be ~2 warps'
+	// worth, not 4 (parallel SMs) and not 1 (each SM runs 2).
+	work := func(w *Warp, _ int) {
+		for i := 0; i < 100; i++ {
+			w.Add(w.ConstF(1), w.ConstF(2))
+		}
+	}
+	one := d.Launch(1, work)
+	four := d.Launch(4, work)
+	if four.Cycles != 2*one.Cycles {
+		t.Fatalf("4 warps on 2 SMs: %d cycles, want %d", four.Cycles, 2*one.Cycles)
+	}
+}
+
+func TestBruteForceNNMatchesCPU(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	db := randomDataset(rng, 500, 6)
+	queries := randomDataset(rng, 20, 6)
+	d := testDevice(t)
+	res, st := BruteForceNN(d, queries, db)
+	if st.Cycles == 0 || st.WarpsLaunched != int64(queries.N()) {
+		t.Fatalf("stats: %+v", st)
+	}
+	m := metric.Euclidean{}
+	for i := 0; i < queries.N(); i++ {
+		want := bruteforce.SearchOne(queries.Row(i), db, m, nil)
+		if int(res[i].ID) != want.ID {
+			// Allow distance ties.
+			got := m.Distance(queries.Row(i), db.Row(int(res[i].ID)))
+			if math.Abs(got-want.Dist) > 1e-5 {
+				t.Fatalf("query %d: id %d (d=%v) want %d (d=%v)", i, res[i].ID, got, want.ID, want.Dist)
+			}
+		}
+	}
+}
+
+func TestOneShotNNOnGPU(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Clustered data so one-shot recall is near-perfect.
+	db := vec.New(8, 2000)
+	for i := 0; i < 2000; i++ {
+		c := float32(rng.Intn(10)) * 5
+		row := make([]float32, 8)
+		for j := range row {
+			row[j] = c + float32(rng.NormFloat64())*0.2
+		}
+		db.Append(row)
+	}
+	queries := db.Subset(rng.Perm(2000)[:50])
+	idx, err := BuildOneShotIndex(db, 130, 130, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := testDevice(t)
+	res, stOne := OneShotNN(d, queries, idx)
+	_, stBrute := BruteForceNN(d, queries, db)
+
+	// Recall: queries are database points, so the answer should be the
+	// point itself (distance 0) nearly always.
+	exact := 0
+	for _, r := range res {
+		if r.SqDist == 0 {
+			exact++
+		}
+	}
+	if exact < 45 {
+		t.Fatalf("one-shot recall too low: %d/50 exact", exact)
+	}
+	// The paper's Table 2 claim: one-shot is dramatically cheaper than
+	// brute force on the same device.
+	speedup := float64(stBrute.Cycles) / float64(stOne.Cycles)
+	if speedup < 3 {
+		t.Fatalf("GPU one-shot speedup %.1fx too small (brute %d cycles, rbc %d)",
+			speedup, stBrute.Cycles, stOne.Cycles)
+	}
+}
+
+func TestBuildOneShotIndexValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	db := randomDataset(rng, 100, 4)
+	if _, err := BuildOneShotIndex(&vec.Dataset{}, 5, 5, 1); err == nil {
+		t.Fatal("empty db should error")
+	}
+	if _, err := BuildOneShotIndex(db, 0, 5, 1); err == nil {
+		t.Fatal("numReps=0 should error")
+	}
+	if _, err := BuildOneShotIndex(db, 1000, 5, 1); err == nil {
+		t.Fatal("numReps>n should error")
+	}
+	idx, err := BuildOneShotIndex(db, 10, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.S != 10 {
+		t.Fatalf("s default: %d", idx.S)
+	}
+	idx2, err := BuildOneShotIndex(db, 10, 500, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx2.S != 100 {
+		t.Fatalf("s clamp: %d", idx2.S)
+	}
+}
+
+func TestTreeWalkDivergesUniformScanDoesNot(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	queries := randomDataset(rng, 256, 4)
+	d := testDevice(t)
+	_, stTree := TreeWalk(d, queries, TreeWalkConfig{Depth: 12})
+	_, stUni := UniformScan(d, queries, 12)
+	if stTree.DivergenceRatio() < 0.5 {
+		t.Fatalf("tree walk divergence ratio %.2f too low", stTree.DivergenceRatio())
+	}
+	if stUni.DivergentBranches != 0 {
+		t.Fatalf("uniform scan diverged: %+v", stUni)
+	}
+	// Scattered tree loads must cost more transactions per load than the
+	// coalesced scan.
+	perLoadTree := float64(stTree.MemTransactions) / float64(stTree.WarpsLaunched*12)
+	perLoadUni := float64(stUni.MemTransactions) / float64(stUni.WarpsLaunched*12)
+	if perLoadTree <= perLoadUni {
+		t.Fatalf("tree loads should scatter: %.2f vs %.2f tx/load", perLoadTree, perLoadUni)
+	}
+}
+
+func TestLaunchZeroWarps(t *testing.T) {
+	d := testDevice(t)
+	st := d.Launch(0, func(w *Warp, _ int) { t.Fatal("kernel must not run") })
+	if st.Cycles != 0 || st.WarpsLaunched != 0 {
+		t.Fatalf("zero launch: %+v", st)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Cycles: 1, Instructions: 2, MemTransactions: 3, DivergentBranches: 4, UniformBranches: 5, WarpsLaunched: 6}
+	b := a
+	a.Add(b)
+	if a.Cycles != 2 || a.Instructions != 4 || a.MemTransactions != 6 || a.WarpsLaunched != 12 {
+		t.Fatalf("Add: %+v", a)
+	}
+	if (Stats{}).DivergenceRatio() != 0 {
+		t.Fatal("empty ratio")
+	}
+}
+
+// Property: the GPU brute-force kernel always returns the true NN
+// distance (squared) up to float32 rounding.
+func TestQuickGPUBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := randomDataset(rng, 100, 3)
+		queries := randomDataset(rng, 3, 3)
+		d, err := NewDevice(DefaultConfig())
+		if err != nil {
+			return false
+		}
+		res, _ := BruteForceNN(d, queries, db)
+		m := metric.Euclidean{}
+		for i := range res {
+			want := bruteforce.SearchOne(queries.Row(i), db, m, nil)
+			got := math.Sqrt(float64(res[i].SqDist))
+			if math.Abs(got-want.Dist) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,269 @@
+package gpusim
+
+import (
+	"math"
+
+	"repro/internal/vec"
+)
+
+// This file implements the GPU pipelines of the paper's §7.3 on the
+// simulated device:
+//
+//   - BruteForceNN: the baseline of Table 2 — a full distance scan plus a
+//     parallel arg-min reduction, both uniform and coalesced;
+//   - OneShotNN: the RBC one-shot pipeline — the same two kernels run
+//     twice, once against the representatives and once against the
+//     assigned ownership list;
+//   - TreeWalk: the divergence ablation — a data-dependent conditional
+//     descent of the kind §3 argues under-utilizes vector hardware.
+//
+// Kernel layout: one warp processes one query at a time; lanes stride
+// across database points, so global reads of the point matrix are
+// perfectly coalesced (lane l reads column element (base+l) of the
+// row-major matrix).
+
+// distanceScanKernel computes, for a single query, the squared Euclidean
+// distance to database points [lo,hi) and reduces them to the warp-local
+// minimum (value, index). It is the inner loop shared by every pipeline.
+func distanceScanKernel(w *Warp, q []float32, db *vec.Dataset, ids IReg, lo, hi int, flat []float32) (float32, int32) {
+	dim := db.Dim
+	width := w.Width()
+	bestVal := w.ConstF(float32(math.Inf(1)))
+	bestIdx := w.ConstI(-1)
+	lane := w.LaneID()
+	for base := lo; base < hi; base += width {
+		// Each lane owns point base+lane.
+		ptIdx := w.AddI(w.ConstI(int32(base)), lane)
+		inRange := w.LessI(ptIdx, w.ConstI(int32(hi)))
+		// Masked lanes carry idx -1 (no load, no candidate).
+		ptIdx = w.SelectI(inRange, ptIdx, w.ConstI(-1))
+		acc := w.ConstF(0)
+		for j := 0; j < dim; j++ {
+			// Column j of the lane's point: row-major offset idx*dim+j.
+			off := w.AddI(w.MulI(ptIdx, w.ConstI(int32(dim))), w.ConstI(int32(j)))
+			// Keep -1 sentinel for masked lanes.
+			off = w.SelectI(inRange, off, w.ConstI(-1))
+			x := w.LoadGlobal(flat, off)
+			d := w.Sub(x, w.ConstF(q[j]))
+			acc = w.FMA(d, d, acc)
+		}
+		// Masked lanes must not win the reduction.
+		acc = w.Select(inRange, acc, w.ConstF(float32(math.Inf(1))))
+		resolved := ptIdx
+		if ids != nil {
+			// Indirect lists: translate list position to database id.
+			resolved = w.SelectI(inRange, gatherIDs(w, ids, ptIdx), w.ConstI(-1))
+		}
+		v, i := w.ReduceMinWithIndex(acc, resolved)
+		if i >= 0 && (v < bestVal[0] || (v == bestVal[0] && i < bestIdx[0])) {
+			bestVal = w.ConstF(v)
+			bestIdx = w.ConstI(i)
+		}
+	}
+	return bestVal[0], bestIdx[0]
+}
+
+// gatherIDs maps lane positions through an id table (one extra coalesced
+// load — the ownership lists are stored contiguously, mirroring the
+// gathered layout of the CPU implementation).
+func gatherIDs(w *Warp, ids IReg, pos IReg) IReg {
+	w.issue(1)
+	// The id table read coalesces exactly like the data read; charge one
+	// int32 gather.
+	w.chargeTransactions(pos)
+	out := make(IReg, w.Width())
+	for i := range out {
+		if pos[i] >= 0 && int(pos[i]) < len(ids) {
+			out[i] = ids[pos[i]]
+		} else {
+			out[i] = -1
+		}
+	}
+	return out
+}
+
+// NNResult is a per-query answer from a simulated pipeline.
+type NNResult struct {
+	ID     int32
+	SqDist float32
+}
+
+// BruteForceNN runs exact 1-NN for every query with a full database scan
+// on the device and returns the answers plus launch stats.
+func BruteForceNN(d *Device, queries, db *vec.Dataset) ([]NNResult, Stats) {
+	out := make([]NNResult, queries.N())
+	st := d.Launch(queries.N(), func(w *Warp, wid int) {
+		v, idx := distanceScanKernel(w, queries.Row(wid), db, nil, 0, db.N(), db.Data)
+		out[wid] = NNResult{ID: idx, SqDist: v}
+	})
+	return out, st
+}
+
+// OneShotIndex is the device-resident RBC one-shot structure: the
+// gathered representative matrix and the per-representative ownership
+// lists (ids + gathered points), contiguous as on the CPU.
+type OneShotIndex struct {
+	RepData *vec.Dataset // nr x dim
+	RepIDs  []int32      // representative database ids
+	S       int          // list length
+	ListIDs IReg         // nr*s database ids
+	ListPts *vec.Dataset // nr*s gathered points
+}
+
+// OneShotNN runs the RBC one-shot pipeline for every query: kernel 1
+// scans the representatives, kernel 2 scans the winning representative's
+// ownership list. Both kernels have the same uniform, coalesced structure
+// as brute force — only the scan lengths differ.
+func OneShotNN(d *Device, queries *vec.Dataset, idx *OneShotIndex) ([]NNResult, Stats) {
+	out := make([]NNResult, queries.N())
+	// Kernel 1: nearest representative per query.
+	nearestRep := make([]int32, queries.N())
+	st := d.Launch(queries.N(), func(w *Warp, wid int) {
+		_, rep := distanceScanKernel(w, queries.Row(wid), idx.RepData, nil, 0, idx.RepData.N(), idx.RepData.Data)
+		nearestRep[wid] = rep
+	})
+	// Kernel 2: scan the winning list.
+	st2 := d.Launch(queries.N(), func(w *Warp, wid int) {
+		rep := int(nearestRep[wid])
+		lo, hi := rep*idx.S, (rep+1)*idx.S
+		v, id := distanceScanKernel(w, queries.Row(wid), idx.ListPts, idx.ListIDs, lo, hi, idx.ListPts.Data)
+		out[wid] = NNResult{ID: id, SqDist: v}
+	})
+	st.Add(st2)
+	return out, st
+}
+
+// TreeWalkConfig shapes the divergence ablation kernel.
+type TreeWalkConfig struct {
+	// Depth is the number of conditional levels each lane descends.
+	Depth int
+	// Nodes is the size of the simulated tree array.
+	Nodes int
+}
+
+// TreeWalk models a bare-bones data-dependent binary descent: each lane
+// starts at the root of the same implicit tree but branches on its own
+// query value, so lanes part ways immediately — the access pattern of a
+// metric-tree search. Returns per-lane leaf indices (to defeat dead-code
+// concerns) and the stats, whose DivergenceRatio and scattered
+// transactions are the quantities of interest.
+func TreeWalk(d *Device, queries *vec.Dataset, cfg TreeWalkConfig) ([]int32, Stats) {
+	if cfg.Depth <= 0 {
+		cfg.Depth = 16
+	}
+	if cfg.Nodes <= 0 {
+		cfg.Nodes = 1 << 16
+	}
+	// Synthetic node thresholds: deterministic pseudo-random layout.
+	nodes := make([]float32, cfg.Nodes)
+	state := uint32(0x9e3779b9)
+	for i := range nodes {
+		state = state*1664525 + 1013904223
+		nodes[i] = float32(state>>8) / float32(1<<24)
+	}
+	width := d.Config().WarpSize
+	warps := (queries.N() + width - 1) / width
+	leaves := make([]int32, warps*width)
+	st := d.Launch(warps, func(w *Warp, wid int) {
+		lane := w.LaneID()
+		gid := w.AddI(w.ConstI(int32(wid*width)), lane)
+		// Each lane's steering value: first coordinate of its query.
+		qv := make(Reg, width)
+		for i := 0; i < width; i++ {
+			g := wid*width + i
+			if g < queries.N() {
+				qv[i] = queries.Row(g)[0]
+			}
+		}
+		pos := w.ConstI(0)
+		for depth := 0; depth < cfg.Depth; depth++ {
+			// Scattered load of each lane's current node threshold.
+			wrapped := modI(w, pos, int32(cfg.Nodes))
+			thresh := w.LoadGlobal(nodes, wrapped)
+			goLeft := w.LessF(qv, thresh)
+			left := w.AddI(w.MulI(pos, w.ConstI(2)), w.ConstI(1))
+			right := w.AddI(w.MulI(pos, w.ConstI(2)), w.ConstI(2))
+			next := w.ConstI(0)
+			// The divergent step: lanes take different subtrees, so both
+			// sides of the branch execute.
+			w.If(goLeft, func() {
+				next = w.SelectI(goLeft, left, next)
+			}, func() {
+				inv := make(Mask, width)
+				for i := range inv {
+					inv[i] = !goLeft[i]
+				}
+				next = w.SelectI(inv, right, next)
+			})
+			pos = next
+			// Mix the steering value so divergence persists down levels.
+			qv = w.Mul(qv, w.ConstF(1.61803))
+			qv = w.Sub(qv, thresh)
+		}
+		for i := 0; i < width; i++ {
+			if g := int(gid[i]); g < len(leaves) {
+				leaves[g] = pos[i]
+			}
+		}
+	})
+	return leaves, st
+}
+
+// modI computes pos mod m lane-wise (1 slot).
+func modI(w *Warp, pos IReg, m int32) IReg {
+	w.issue(1)
+	out := make(IReg, w.Width())
+	for i := range out {
+		v := pos[i] % m
+		if v < 0 {
+			v += m
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// UniformScan is the control for the divergence ablation: the same number
+// of conditional levels, but every lane branches the same way (the branch
+// predicate is warp-uniform), and loads are coalesced. Comparing its
+// Cycles against TreeWalk isolates the SIMT divergence + scatter penalty.
+func UniformScan(d *Device, queries *vec.Dataset, depth int) ([]int32, Stats) {
+	if depth <= 0 {
+		depth = 16
+	}
+	width := d.Config().WarpSize
+	warps := (queries.N() + width - 1) / width
+	sink := make([]int32, warps*width)
+	table := make([]float32, 1<<16)
+	for i := range table {
+		table[i] = float32(i%97) / 97
+	}
+	st := d.Launch(warps, func(w *Warp, wid int) {
+		lane := w.LaneID()
+		pos := lane // coalesced: consecutive lanes, consecutive addresses
+		acc := w.ConstF(0)
+		uniformFlag := wid%2 == 0
+		for dp := 0; dp < depth; dp++ {
+			x := w.LoadGlobal(table, pos)
+			acc = w.FMA(x, w.ConstF(0.5), acc)
+			// Warp-uniform branch: all lanes agree by construction.
+			cond := make(Mask, width)
+			for i := range cond {
+				cond[i] = uniformFlag
+			}
+			w.If(cond, func() {
+				acc = w.Add(acc, w.ConstF(1))
+			}, func() {
+				acc = w.Sub(acc, w.ConstF(1))
+			})
+			pos = w.AddI(pos, w.ConstI(int32(width)))
+		}
+		for i := 0; i < width; i++ {
+			g := wid*width + i
+			if g < len(sink) {
+				sink[g] = int32(acc[i])
+			}
+		}
+	})
+	return sink, st
+}

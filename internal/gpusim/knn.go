@@ -1,0 +1,111 @@
+package gpusim
+
+import (
+	"math"
+
+	"repro/internal/par"
+	"repro/internal/vec"
+)
+
+// k-NN pipelines on the simulated device. The selection step is modeled
+// as a per-block warp-wide merge network: after each width-wide block of
+// candidate distances, the warp folds them into a register-resident
+// sorted list of the k best (bitonic-style, log₂(width)+log₂(k) slots) —
+// the standard GPU k-select pattern for small k.
+
+// knnSelectCost charges the warp for one block's fold into the k-list:
+// a bitonic sort of the width candidates (log₂w·(log₂w+1)/2 compare
+// layers) followed by a merge with the k-list (log₂k+1 layers).
+func knnSelectCost(w *Warp, k int) {
+	logw := int64(0)
+	for s := 1; s < w.Width(); s <<= 1 {
+		logw++
+	}
+	logk := int64(1)
+	for s := 1; s < k; s <<= 1 {
+		logk++
+	}
+	w.issue(logw*(logw+1)/2 + logk)
+}
+
+// distanceScanKernelK is the k-best variant of distanceScanKernel: it
+// scans [lo,hi) of flat and returns the k nearest (database ids after
+// translation through ids, when non-nil).
+func distanceScanKernelK(w *Warp, q []float32, db *vec.Dataset, ids IReg, lo, hi, k int, flat []float32) []par.Neighbor {
+	dim := db.Dim
+	width := w.Width()
+	lane := w.LaneID()
+	heap := par.NewKHeap(k)
+	for base := lo; base < hi; base += width {
+		ptIdx := w.AddI(w.ConstI(int32(base)), lane)
+		inRange := w.LessI(ptIdx, w.ConstI(int32(hi)))
+		ptIdx = w.SelectI(inRange, ptIdx, w.ConstI(-1))
+		acc := w.ConstF(0)
+		for j := 0; j < dim; j++ {
+			off := w.AddI(w.MulI(ptIdx, w.ConstI(int32(dim))), w.ConstI(int32(j)))
+			off = w.SelectI(inRange, off, w.ConstI(-1))
+			x := w.LoadGlobal(flat, off)
+			d := w.Sub(x, w.ConstF(q[j]))
+			acc = w.FMA(d, d, acc)
+		}
+		resolved := ptIdx
+		if ids != nil {
+			resolved = w.SelectI(inRange, gatherIDs(w, ids, ptIdx), w.ConstI(-1))
+		}
+		// Host-side result tracking; device cost charged as a merge fold.
+		knnSelectCost(w, k)
+		for i := 0; i < width; i++ {
+			if resolved[i] >= 0 {
+				heap.Push(int(resolved[i]), float64(acc[i]))
+			}
+		}
+	}
+	return heap.Results()
+}
+
+// BruteForceKNN runs exact k-NN for every query on the device, returning
+// per-query neighbor lists (squared distances) and launch stats.
+func BruteForceKNN(d *Device, queries, db *vec.Dataset, k int) ([][]par.Neighbor, Stats) {
+	out := make([][]par.Neighbor, queries.N())
+	st := d.Launch(queries.N(), func(w *Warp, wid int) {
+		out[wid] = distanceScanKernelK(w, queries.Row(wid), db, nil, 0, db.N(), k, db.Data)
+	})
+	return out, st
+}
+
+// OneShotKNN runs the RBC one-shot k-NN pipeline: nearest representative,
+// then k-select over its ownership list.
+func OneShotKNN(d *Device, queries *vec.Dataset, idx *OneShotIndex, k int) ([][]par.Neighbor, Stats) {
+	out := make([][]par.Neighbor, queries.N())
+	nearestRep := make([]int32, queries.N())
+	st := d.Launch(queries.N(), func(w *Warp, wid int) {
+		_, rep := distanceScanKernel(w, queries.Row(wid), idx.RepData, nil, 0, idx.RepData.N(), idx.RepData.Data)
+		nearestRep[wid] = rep
+	})
+	st2 := d.Launch(queries.N(), func(w *Warp, wid int) {
+		rep := int(nearestRep[wid])
+		lo, hi := rep*idx.S, (rep+1)*idx.S
+		out[wid] = distanceScanKernelK(w, queries.Row(wid), idx.ListPts, idx.ListIDs, lo, hi, k, idx.ListPts.Data)
+	})
+	st.Add(st2)
+	return out, st
+}
+
+// SqDistTolerance is the float32 tolerance used when comparing simulated
+// squared distances with float64 CPU references.
+const SqDistTolerance = 1e-4
+
+// MatchesCPU reports whether a device k-NN result list agrees with a CPU
+// reference (true distances) up to float32 rounding.
+func MatchesCPU(dev []par.Neighbor, cpu []par.Neighbor) bool {
+	if len(dev) != len(cpu) {
+		return false
+	}
+	for i := range dev {
+		got := math.Sqrt(float64(dev[i].Dist))
+		if math.Abs(got-cpu[i].Dist) > SqDistTolerance*(1+cpu[i].Dist) {
+			return false
+		}
+	}
+	return true
+}

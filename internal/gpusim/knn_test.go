@@ -1,0 +1,100 @@
+package gpusim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bruteforce"
+	"repro/internal/metric"
+	"repro/internal/vec"
+)
+
+func TestBruteForceKNNMatchesCPU(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	db := randomDataset(rng, 400, 5)
+	queries := randomDataset(rng, 10, 5)
+	d := testDevice(t)
+	res, st := BruteForceKNN(d, queries, db, 5)
+	if st.Cycles == 0 {
+		t.Fatal("no cycles recorded")
+	}
+	m := metric.Euclidean{}
+	for i := 0; i < queries.N(); i++ {
+		want := bruteforce.SearchOneK(queries.Row(i), db, 5, m, nil)
+		if !MatchesCPU(res[i], want) {
+			t.Fatalf("query %d: %v vs %v", i, res[i], want)
+		}
+	}
+}
+
+func TestOneShotKNNOnGPU(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	db := vec.New(6, 1500)
+	for i := 0; i < 1500; i++ {
+		c := float32(rng.Intn(8)) * 5
+		row := make([]float32, 6)
+		for j := range row {
+			row[j] = c + float32(rng.NormFloat64())*0.2
+		}
+		db.Append(row)
+	}
+	queries := db.Subset(rng.Perm(1500)[:20])
+	idx, err := BuildOneShotIndex(db, 110, 110, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := testDevice(t)
+	const k = 4
+	res, stOne := OneShotKNN(d, queries, idx, k)
+	_, stBrute := BruteForceKNN(d, queries, db, k)
+	m := metric.Euclidean{}
+	matches := 0
+	for i := 0; i < queries.N(); i++ {
+		want := bruteforce.SearchOneK(queries.Row(i), db, k, m, nil)
+		if MatchesCPU(res[i], want) {
+			matches++
+		}
+	}
+	if matches < 15 {
+		t.Fatalf("one-shot k-NN recall too low: %d/20 lists exact", matches)
+	}
+	if speedup := float64(stBrute.Cycles) / float64(stOne.Cycles); speedup < 2 {
+		t.Fatalf("GPU k-NN speedup %.1f too small", speedup)
+	}
+}
+
+func TestKNNResultsSortedAndComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	db := randomDataset(rng, 100, 3)
+	queries := randomDataset(rng, 5, 3)
+	d := testDevice(t)
+	res, _ := BruteForceKNN(d, queries, db, 7)
+	for qi, nbs := range res {
+		if len(nbs) != 7 {
+			t.Fatalf("query %d: %d results", qi, len(nbs))
+		}
+		seen := map[int]bool{}
+		for i, nb := range nbs {
+			if seen[nb.ID] {
+				t.Fatalf("query %d: duplicate id %d", qi, nb.ID)
+			}
+			seen[nb.ID] = true
+			if i > 0 && nbs[i].Dist < nbs[i-1].Dist {
+				t.Fatalf("query %d: unsorted", qi)
+			}
+		}
+	}
+}
+
+func TestKNNSelectionCostCharged(t *testing.T) {
+	// k-NN must cost more than 1-NN on the same scan (the merge folds).
+	rng := rand.New(rand.NewSource(4))
+	db := randomDataset(rng, 600, 4)
+	queries := randomDataset(rng, 8, 4)
+	d := testDevice(t)
+	_, st1 := BruteForceNN(d, queries, db)
+	_, stK := BruteForceKNN(d, queries, db, 16)
+	if stK.Cycles <= st1.Cycles {
+		t.Fatalf("k-NN cycles %d should exceed 1-NN cycles %d", stK.Cycles, st1.Cycles)
+	}
+}

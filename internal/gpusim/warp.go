@@ -1,0 +1,343 @@
+package gpusim
+
+import "math"
+
+// Warp is the execution context a Kernel runs against: a WarpSize-wide
+// SIMD lane group executing in lockstep. Registers are lane-vectors
+// (Reg, IReg); every vector operation costs one issue slot for the whole
+// warp; control flow is expressed through If, which models divergence by
+// executing both paths under complementary lane masks.
+type Warp struct {
+	dev    *Device
+	width  int
+	active []bool
+
+	cycles       int64
+	instructions int64
+	transactions int64
+	divergent    int64
+	uniform      int64
+}
+
+// Reg is a floating-point register file slice: one value per lane.
+type Reg []float32
+
+// IReg is an integer register: one value per lane.
+type IReg []int32
+
+// Width reports the number of lanes.
+func (w *Warp) Width() int { return w.width }
+
+func (w *Warp) issue(n int64) {
+	w.instructions += n
+	w.cycles += n
+}
+
+// --- Register constructors -------------------------------------------------
+
+// ConstF broadcasts a float constant to all lanes (register initializer;
+// free, like a compiler immediate).
+func (w *Warp) ConstF(v float32) Reg {
+	r := make(Reg, w.width)
+	for i := range r {
+		r[i] = v
+	}
+	return r
+}
+
+// ConstI broadcasts an integer constant.
+func (w *Warp) ConstI(v int32) IReg {
+	r := make(IReg, w.width)
+	for i := range r {
+		r[i] = v
+	}
+	return r
+}
+
+// LaneID returns each lane's index 0..width-1 (free: hardware register).
+func (w *Warp) LaneID() IReg {
+	r := make(IReg, w.width)
+	for i := range r {
+		r[i] = int32(i)
+	}
+	return r
+}
+
+// --- Arithmetic (1 issue slot each) -----------------------------------------
+
+func (w *Warp) binaryF(a, b Reg, f func(x, y float32) float32) Reg {
+	w.issue(1)
+	out := make(Reg, w.width)
+	for i := range out {
+		if w.active[i] {
+			out[i] = f(a[i], b[i])
+		}
+	}
+	return out
+}
+
+// Add returns a+b lane-wise.
+func (w *Warp) Add(a, b Reg) Reg { return w.binaryF(a, b, func(x, y float32) float32 { return x + y }) }
+
+// Sub returns a-b lane-wise.
+func (w *Warp) Sub(a, b Reg) Reg { return w.binaryF(a, b, func(x, y float32) float32 { return x - y }) }
+
+// Mul returns a*b lane-wise.
+func (w *Warp) Mul(a, b Reg) Reg { return w.binaryF(a, b, func(x, y float32) float32 { return x * y }) }
+
+// FMA returns a*b+c lane-wise in a single issue slot (fused).
+func (w *Warp) FMA(a, b, c Reg) Reg {
+	w.issue(1)
+	out := make(Reg, w.width)
+	for i := range out {
+		if w.active[i] {
+			out[i] = a[i]*b[i] + c[i]
+		}
+	}
+	return out
+}
+
+// Sqrt returns √a lane-wise (special-function unit, 1 slot).
+func (w *Warp) Sqrt(a Reg) Reg {
+	w.issue(1)
+	out := make(Reg, w.width)
+	for i := range out {
+		if w.active[i] {
+			out[i] = float32(math.Sqrt(float64(a[i])))
+		}
+	}
+	return out
+}
+
+// AddI returns a+b lane-wise on integers.
+func (w *Warp) AddI(a, b IReg) IReg {
+	w.issue(1)
+	out := make(IReg, w.width)
+	for i := range out {
+		if w.active[i] {
+			out[i] = a[i] + b[i]
+		}
+	}
+	return out
+}
+
+// MulI returns a*b lane-wise on integers.
+func (w *Warp) MulI(a, b IReg) IReg {
+	w.issue(1)
+	out := make(IReg, w.width)
+	for i := range out {
+		if w.active[i] {
+			out[i] = a[i] * b[i]
+		}
+	}
+	return out
+}
+
+// --- Comparisons and divergence ---------------------------------------------
+
+// Mask is a lane predicate.
+type Mask []bool
+
+// LessF compares a < b lane-wise.
+func (w *Warp) LessF(a, b Reg) Mask {
+	w.issue(1)
+	m := make(Mask, w.width)
+	for i := range m {
+		if w.active[i] {
+			m[i] = a[i] < b[i]
+		}
+	}
+	return m
+}
+
+// LessI compares a < b lane-wise on integers.
+func (w *Warp) LessI(a, b IReg) Mask {
+	w.issue(1)
+	m := make(Mask, w.width)
+	for i := range m {
+		if w.active[i] {
+			m[i] = a[i] < b[i]
+		}
+	}
+	return m
+}
+
+// If executes then under the lanes where m holds and els (if non-nil)
+// under the complement. When the active lanes disagree, both sides run —
+// the SIMT divergence penalty; when they agree, only the taken side runs.
+func (w *Warp) If(m Mask, then func(), els func()) {
+	w.issue(1) // the branch instruction itself
+	anyTrue, anyFalse := false, false
+	for i := range m {
+		if !w.active[i] {
+			continue
+		}
+		if m[i] {
+			anyTrue = true
+		} else {
+			anyFalse = true
+		}
+	}
+	if anyTrue && anyFalse {
+		w.divergent++
+	} else {
+		w.uniform++
+	}
+	saved := w.active
+	if anyTrue && then != nil {
+		w.active = andMask(saved, m)
+		then()
+	}
+	if anyFalse && els != nil {
+		w.active = andNotMask(saved, m)
+		els()
+	}
+	w.active = saved
+}
+
+func andMask(a []bool, m Mask) []bool {
+	out := make([]bool, len(a))
+	for i := range a {
+		out[i] = a[i] && m[i]
+	}
+	return out
+}
+
+func andNotMask(a []bool, m Mask) []bool {
+	out := make([]bool, len(a))
+	for i := range a {
+		out[i] = a[i] && !m[i]
+	}
+	return out
+}
+
+// Select returns m ? a : b lane-wise without divergence (predicated move).
+func (w *Warp) Select(m Mask, a, b Reg) Reg {
+	w.issue(1)
+	out := make(Reg, w.width)
+	for i := range out {
+		if !w.active[i] {
+			continue
+		}
+		if m[i] {
+			out[i] = a[i]
+		} else {
+			out[i] = b[i]
+		}
+	}
+	return out
+}
+
+// SelectI is Select for integer registers.
+func (w *Warp) SelectI(m Mask, a, b IReg) IReg {
+	w.issue(1)
+	out := make(IReg, w.width)
+	for i := range out {
+		if !w.active[i] {
+			continue
+		}
+		if m[i] {
+			out[i] = a[i]
+		} else {
+			out[i] = b[i]
+		}
+	}
+	return out
+}
+
+// --- Memory -----------------------------------------------------------------
+
+// LoadGlobal gathers mem[idx[lane]] into a register. Cost: one issue slot
+// plus MemCyclesPerTransaction per distinct TransactionBytes-aligned
+// segment touched by active lanes — consecutive lanes reading consecutive
+// addresses coalesce into one transaction; scattered reads pay per lane.
+// Lanes with idx < 0 are treated as inactive (masked load).
+func (w *Warp) LoadGlobal(mem []float32, idx IReg) Reg {
+	w.issue(1)
+	out := make(Reg, w.width)
+	w.chargeTransactions(idx)
+	for i := range out {
+		if w.active[i] && idx[i] >= 0 && int(idx[i]) < len(mem) {
+			out[i] = mem[idx[i]]
+		}
+	}
+	return out
+}
+
+// StoreGlobal scatters val into mem[idx[lane]] with the same coalescing
+// cost model as LoadGlobal.
+func (w *Warp) StoreGlobal(mem []float32, idx IReg, val Reg) {
+	w.issue(1)
+	w.chargeTransactions(idx)
+	for i := 0; i < w.width; i++ {
+		if w.active[i] && idx[i] >= 0 && int(idx[i]) < len(mem) {
+			mem[idx[i]] = val[i]
+		}
+	}
+}
+
+func (w *Warp) chargeTransactions(idx IReg) {
+	elemsPerTx := w.dev.cfg.TransactionBytes / 4
+	if elemsPerTx <= 0 {
+		elemsPerTx = 1
+	}
+	seen := make(map[int32]struct{}, 4)
+	for i := 0; i < w.width; i++ {
+		if !w.active[i] || idx[i] < 0 {
+			continue
+		}
+		seg := idx[i] / int32(elemsPerTx)
+		seen[seg] = struct{}{}
+	}
+	n := int64(len(seen))
+	w.transactions += n
+	w.cycles += n * int64(w.dev.cfg.MemCyclesPerTransaction)
+}
+
+// --- Warp-wide reductions (log2(width) shuffle steps) ------------------------
+
+// ReduceMin returns the minimum value across active lanes and the lane id
+// holding it (lowest lane on ties). Inactive lanes are ignored. Cost:
+// log2(width) shuffle+compare slots.
+func (w *Warp) ReduceMin(v Reg) (float32, int) {
+	steps := int64(0)
+	for s := 1; s < w.width; s <<= 1 {
+		steps++
+	}
+	w.issue(steps)
+	best := float32(math.Inf(1))
+	lane := -1
+	for i := 0; i < w.width; i++ {
+		if w.active[i] && v[i] < best {
+			best, lane = v[i], i
+		}
+	}
+	return best, lane
+}
+
+// ReduceMinWithIndex reduces (value, payload-index) pairs: the payload of
+// the winning lane is returned alongside the minimum. Ties prefer the
+// smaller payload, making kernel results deterministic.
+func (w *Warp) ReduceMinWithIndex(v Reg, payload IReg) (float32, int32) {
+	steps := int64(0)
+	for s := 1; s < w.width; s <<= 1 {
+		steps++
+	}
+	w.issue(2 * steps) // value and payload move together
+	best := float32(math.Inf(1))
+	var idx int32 = -1
+	for i := 0; i < w.width; i++ {
+		if !w.active[i] {
+			continue
+		}
+		switch {
+		case idx == -1:
+			best, idx = v[i], payload[i]
+		case v[i] < best:
+			best, idx = v[i], payload[i]
+		case v[i] == best && payload[i] < idx:
+			idx = payload[i]
+		}
+	}
+	return best, idx
+}

@@ -1,0 +1,208 @@
+// Package kdtree implements a median-split k-d tree over float32 vectors
+// under the Euclidean metric. The paper notes (§7.1) that in very low
+// dimensions "basic data structures like kd-trees are extremely
+// effective" — this package provides that reference baseline so the
+// experiments can show where the crossover to metric methods happens.
+package kdtree
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/par"
+	"repro/internal/vec"
+)
+
+// Tree is an immutable k-d tree built over a dataset.
+type Tree struct {
+	db    *vec.Dataset
+	nodes []node
+	order []int32 // tree position → database id
+	root  int32
+	// DistEvals counts full distance evaluations during queries
+	// (diagnostic; not synchronized — meaningful for sequential use).
+	DistEvals int64
+	leafSize  int
+}
+
+type node struct {
+	// Internal nodes: axis >= 0, split value, children. Leaves: axis == -1
+	// and [lo,hi) indexes into order.
+	axis        int32
+	split       float32
+	left, right int32
+	lo, hi      int32
+}
+
+// order maps tree positions to database ids; stored on Tree via closure
+// would allocate, so it lives beside nodes.
+type buildCtx struct {
+	db    *vec.Dataset
+	order []int32
+	nodes []node
+	leaf  int
+}
+
+// Build constructs the tree. leafSize controls when recursion stops;
+// values of 8-32 are typical (0 selects 16).
+func Build(db *vec.Dataset, leafSize int) *Tree {
+	if leafSize <= 0 {
+		leafSize = 16
+	}
+	n := db.N()
+	ctx := &buildCtx{db: db, order: make([]int32, n), leaf: leafSize}
+	for i := range ctx.order {
+		ctx.order[i] = int32(i)
+	}
+	t := &Tree{db: db, leafSize: leafSize}
+	if n == 0 {
+		t.root = -1
+		return t
+	}
+	t.root = ctx.build(0, n)
+	t.nodes = ctx.nodes
+	t.order = ctx.order
+	return t
+}
+
+func (c *buildCtx) build(lo, hi int) int32 {
+	if hi-lo <= c.leaf {
+		c.nodes = append(c.nodes, node{axis: -1, lo: int32(lo), hi: int32(hi)})
+		return int32(len(c.nodes) - 1)
+	}
+	// Pick the axis with the widest spread over this cell.
+	dim := c.db.Dim
+	axis := 0
+	bestSpread := float32(-1)
+	for a := 0; a < dim; a++ {
+		mn, mx := c.db.Row(int(c.order[lo]))[a], c.db.Row(int(c.order[lo]))[a]
+		for i := lo + 1; i < hi; i++ {
+			v := c.db.Row(int(c.order[i]))[a]
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		if spread := mx - mn; spread > bestSpread {
+			bestSpread = spread
+			axis = a
+		}
+	}
+	if bestSpread == 0 {
+		// All points in this cell are identical; make it a leaf.
+		c.nodes = append(c.nodes, node{axis: -1, lo: int32(lo), hi: int32(hi)})
+		return int32(len(c.nodes) - 1)
+	}
+	seg := c.order[lo:hi]
+	mid := len(seg) / 2
+	// Median split via full sort on the axis (simple and deterministic;
+	// builds are measured separately from queries in the experiments).
+	sort.Slice(seg, func(i, j int) bool {
+		return c.db.Row(int(seg[i]))[axis] < c.db.Row(int(seg[j]))[axis]
+	})
+	split := c.db.Row(int(seg[mid]))[axis]
+	// Guard against duplicates of the median crossing the boundary: move
+	// mid to the first occurrence of split so left strictly < split is
+	// not required, only the bounding logic below.
+	idx := int32(len(c.nodes))
+	c.nodes = append(c.nodes, node{axis: int32(axis), split: split})
+	left := c.build(lo, lo+mid)
+	right := c.build(lo+mid, hi)
+	c.nodes[idx].left = left
+	c.nodes[idx].right = right
+	return idx
+}
+
+// NN returns the nearest database point to q, or (-1, +Inf) when empty.
+func (t *Tree) NN(q []float32) (int, float64) {
+	res := t.KNN(q, 1)
+	if len(res) == 0 {
+		return -1, math.Inf(1)
+	}
+	return res[0].ID, res[0].Dist
+}
+
+// KNN returns the k nearest database points sorted by ascending distance.
+func (t *Tree) KNN(q []float32, k int) []par.Neighbor {
+	if t.root < 0 || k <= 0 {
+		return nil
+	}
+	h := par.NewKHeap(k)
+	t.search(t.root, q, h)
+	return h.Results()
+}
+
+func (t *Tree) search(ni int32, q []float32, h *par.KHeap) {
+	nd := &t.nodes[ni]
+	if nd.axis < 0 {
+		for _, id := range t.order[nd.lo:nd.hi] {
+			h.Push(int(id), t.pointDist(q, int(id)))
+		}
+		return
+	}
+	diff := float64(q[nd.axis]) - float64(nd.split)
+	near, far := nd.left, nd.right
+	if diff > 0 {
+		near, far = nd.right, nd.left
+	}
+	t.search(near, q, h)
+	// Visit the far side only if the splitting plane is closer than the
+	// current k-th distance (or the heap is not yet full).
+	worst, full := h.Worst()
+	if !full || math.Abs(diff) <= worst {
+		t.search(far, q, h)
+	}
+}
+
+func (t *Tree) pointDist(q []float32, id int) float64 {
+	t.DistEvals++
+	row := t.db.Row(id)
+	var s float64
+	for j := range q {
+		d := float64(q[j]) - float64(row[j])
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Range returns all points within eps of q sorted by ascending distance.
+func (t *Tree) Range(q []float32, eps float64) []par.Neighbor {
+	if t.root < 0 {
+		return nil
+	}
+	var hits []par.Neighbor
+	var walk func(ni int32)
+	walk = func(ni int32) {
+		nd := &t.nodes[ni]
+		if nd.axis < 0 {
+			for _, id := range t.order[nd.lo:nd.hi] {
+				if d := t.pointDist(q, int(id)); d <= eps {
+					hits = append(hits, par.Neighbor{ID: int(id), Dist: d})
+				}
+			}
+			return
+		}
+		diff := float64(q[nd.axis]) - float64(nd.split)
+		near, far := nd.left, nd.right
+		if diff > 0 {
+			near, far = nd.right, nd.left
+		}
+		walk(near)
+		if math.Abs(diff) <= eps {
+			walk(far)
+		}
+	}
+	walk(t.root)
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Dist != hits[j].Dist {
+			return hits[i].Dist < hits[j].Dist
+		}
+		return hits[i].ID < hits[j].ID
+	})
+	return hits
+}
+
+// Size reports the number of indexed points.
+func (t *Tree) Size() int { return len(t.order) }

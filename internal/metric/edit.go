@@ -1,0 +1,48 @@
+package metric
+
+// Edit is the Levenshtein edit distance on strings — one of the paper's
+// examples of a metric space with no vector representation (§6: "the
+// expansion rate ... makes sense for the edit distance on strings").
+//
+// Unit costs for insert, delete and substitute make it a true metric.
+type Edit struct{}
+
+// Distance implements Metric. It runs in O(len(a)*len(b)) time and
+// O(min(len(a),len(b))) space.
+func (Edit) Distance(a, b string) float64 {
+	if len(a) < len(b) {
+		a, b = b, a
+	}
+	if len(b) == 0 {
+		return float64(len(a))
+	}
+	// prev[j] = distance between a[:i] and b[:j] from the previous row.
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		ai := a[i-1]
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if ai == b[j-1] {
+				cost = 0
+			}
+			m := prev[j-1] + cost        // substitute (or match)
+			if d := prev[j] + 1; d < m { // delete from a
+				m = d
+			}
+			if d := cur[j-1] + 1; d < m { // insert into a
+				m = d
+			}
+			cur[j] = m
+		}
+		prev, cur = cur, prev
+	}
+	return float64(prev[len(b)])
+}
+
+// Name implements Metric.
+func (Edit) Name() string { return "edit" }

@@ -1,0 +1,105 @@
+package metric
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Graph is the shortest-path metric on the nodes of an undirected,
+// non-negatively weighted graph — the paper's second example of a
+// non-vector metric space. Distances are precomputed with Dijkstra from
+// every node, so Distance is O(1) at query time.
+type Graph struct {
+	n    int
+	dist [][]float64
+}
+
+// GraphEdge is an undirected edge with a non-negative weight.
+type GraphEdge struct {
+	U, V   int
+	Weight float64
+}
+
+// NewGraph builds the shortest-path metric over nodes 0..n-1. It returns
+// an error for invalid endpoints, negative weights, or a disconnected
+// graph (where the shortest-path "distance" would be infinite and the
+// space would not be metric).
+func NewGraph(n int, edges []GraphEdge) (*Graph, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("metric: graph needs at least one node, got %d", n)
+	}
+	adj := make([][]GraphEdge, n)
+	for _, e := range edges {
+		if e.U < 0 || e.U >= n || e.V < 0 || e.V >= n {
+			return nil, fmt.Errorf("metric: edge (%d,%d) out of range [0,%d)", e.U, e.V, n)
+		}
+		if e.Weight < 0 {
+			return nil, fmt.Errorf("metric: negative edge weight %v", e.Weight)
+		}
+		adj[e.U] = append(adj[e.U], GraphEdge{U: e.U, V: e.V, Weight: e.Weight})
+		adj[e.V] = append(adj[e.V], GraphEdge{U: e.V, V: e.U, Weight: e.Weight})
+	}
+	g := &Graph{n: n, dist: make([][]float64, n)}
+	for src := 0; src < n; src++ {
+		d := dijkstra(adj, src, n)
+		for _, v := range d {
+			if math.IsInf(v, 1) {
+				return nil, fmt.Errorf("metric: graph is disconnected (node unreachable from %d)", src)
+			}
+		}
+		g.dist[src] = d
+	}
+	return g, nil
+}
+
+// N reports the number of nodes.
+func (g *Graph) N() int { return g.n }
+
+// Distance implements Metric over node indices.
+func (g *Graph) Distance(a, b int) float64 { return g.dist[a][b] }
+
+// Name implements Metric.
+func (g *Graph) Name() string { return "graph-shortest-path" }
+
+type dijkstraItem struct {
+	node int
+	dist float64
+}
+
+type dijkstraHeap []dijkstraItem
+
+func (h dijkstraHeap) Len() int            { return len(h) }
+func (h dijkstraHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h dijkstraHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *dijkstraHeap) Push(x interface{}) { *h = append(*h, x.(dijkstraItem)) }
+func (h *dijkstraHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+func dijkstra(adj [][]GraphEdge, src, n int) []float64 {
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	h := &dijkstraHeap{{node: src, dist: 0}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(dijkstraItem)
+		if it.dist > dist[it.node] {
+			continue // stale entry
+		}
+		for _, e := range adj[it.node] {
+			nd := it.dist + e.Weight
+			if nd < dist[e.V] {
+				dist[e.V] = nd
+				heap.Push(h, dijkstraItem{node: e.V, dist: nd})
+			}
+		}
+	}
+	return dist
+}

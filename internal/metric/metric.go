@@ -1,0 +1,60 @@
+// Package metric defines the distance abstractions used by the RBC, the
+// brute-force primitive and the baselines.
+//
+// The paper's algorithms work over arbitrary metric spaces, so the central
+// type is the generic Metric[P] interface. Dense float32 vectors get a
+// fast path through the Batch interface, which computes distances from one
+// query to a contiguous block of points (the memory-access pattern of the
+// brute-force primitive on real hardware).
+package metric
+
+// Metric is a distance function over points of type P. Implementations
+// used with the exact RBC search and with the cover tree must satisfy the
+// metric axioms, in particular the triangle inequality: the pruning rules
+// are unsound otherwise.
+type Metric[P any] interface {
+	// Distance returns the distance between a and b. It must be
+	// non-negative, symmetric and satisfy the triangle inequality.
+	Distance(a, b P) float64
+	// Name identifies the metric in reports and serialized indexes.
+	Name() string
+}
+
+// Func adapts a plain function to the Metric interface.
+type Func[P any] struct {
+	F     func(a, b P) float64
+	Label string
+}
+
+// Distance implements Metric.
+func (f Func[P]) Distance(a, b P) float64 { return f.F(a, b) }
+
+// Name implements Metric.
+func (f Func[P]) Name() string {
+	if f.Label == "" {
+		return "func"
+	}
+	return f.Label
+}
+
+// Batch is the vector fast path: distances from one query to many points
+// stored contiguously. flat holds len(out) points of dimension dim, back
+// to back, exactly as in a vec.Dataset.
+type Batch interface {
+	Distances(q []float32, flat []float32, dim int, out []float64)
+}
+
+// BatchDistances computes distances from q to every point in flat using
+// m's Batch implementation when available, falling back to per-point
+// Distance calls otherwise. It returns the number of distance evaluations
+// performed (always len(out)).
+func BatchDistances(m Metric[[]float32], q []float32, flat []float32, dim int, out []float64) int {
+	if b, ok := m.(Batch); ok {
+		b.Distances(q, flat, dim, out)
+		return len(out)
+	}
+	for i := range out {
+		out[i] = m.Distance(q, flat[i*dim:(i+1)*dim])
+	}
+	return len(out)
+}

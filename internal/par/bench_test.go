@@ -1,0 +1,56 @@
+package par
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkForOverhead(b *testing.B) {
+	sink := make([]float64, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		For(len(sink), 1024, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				sink[j] = float64(j)
+			}
+		})
+	}
+}
+
+func BenchmarkArgMin100k(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	xs := make([]float64, 100000)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ArgMin(xs)
+	}
+}
+
+func BenchmarkKHeapPush(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	vals := make([]float64, 4096)
+	for i := range vals {
+		vals[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := NewKHeap(10)
+		for j, v := range vals {
+			h.Push(j, v)
+		}
+	}
+}
+
+func BenchmarkTreeReduce(b *testing.B) {
+	xs := make([]int, 10000)
+	for i := range xs {
+		xs[i] = i
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TreeReduce(xs, func(a, b int) int { return a + b })
+	}
+}

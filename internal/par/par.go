@@ -1,0 +1,158 @@
+// Package par supplies the parallel building blocks the paper's brute-force
+// primitive decomposes into (§3): a blocked parallel for over independent
+// work items, a tree reduction ("inverted binary tree") for the comparison
+// step, a parallel arg-min, and bounded top-k heaps for k-NN selection.
+//
+// Everything sizes itself from GOMAXPROCS, so the same code exercises a
+// single core or a 48-core server without change.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers reports the degree of parallelism used by this package:
+// GOMAXPROCS at call time.
+func Workers() int { return runtime.GOMAXPROCS(0) }
+
+// For runs fn over the index range [0,n) split into contiguous blocks, one
+// goroutine per block, with at most Workers() blocks and at least minGrain
+// indices per block. fn is called as fn(lo,hi) with lo < hi. Blocks are
+// disjoint, so fn may write to per-index state without synchronization.
+//
+// When the range is smaller than minGrain (or a single worker is
+// available) fn runs inline on the calling goroutine, keeping the fast
+// path allocation-free.
+func For(n, minGrain int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if minGrain < 1 {
+		minGrain = 1
+	}
+	workers := Workers()
+	blocks := n / minGrain
+	if blocks > workers {
+		blocks = workers
+	}
+	if blocks <= 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(blocks)
+	// Distribute the remainder so block sizes differ by at most one.
+	size := n / blocks
+	rem := n % blocks
+	lo := 0
+	for b := 0; b < blocks; b++ {
+		hi := lo + size
+		if b < rem {
+			hi++
+		}
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+}
+
+// ForEach runs fn(i) for every i in [0,n) using For with the given grain.
+func ForEach(n, minGrain int, fn func(i int)) {
+	For(n, minGrain, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// TreeReduce combines xs pairwise along an inverted binary tree — the
+// comparison structure the paper plugs brute-force search into. combine
+// must be associative. It returns the zero value of T for empty input.
+//
+// Levels run in parallel; with p workers the depth is ceil(log2 n) and the
+// work is n-1 combines, matching a textbook parallel reduction.
+func TreeReduce[T any](xs []T, combine func(a, b T) T) T {
+	var zero T
+	if len(xs) == 0 {
+		return zero
+	}
+	// Work on a copy so callers keep their slice.
+	buf := make([]T, len(xs))
+	copy(buf, xs)
+	for len(buf) > 1 {
+		half := (len(buf) + 1) / 2
+		ForEach(len(buf)/2, 64, func(i int) {
+			buf[i] = combine(buf[2*i], buf[2*i+1])
+		})
+		if len(buf)%2 == 1 {
+			buf[half-1] = buf[len(buf)-1]
+		}
+		buf = buf[:half]
+	}
+	return buf[0]
+}
+
+// ArgMin returns the index and value of the smallest element of dists,
+// computed with a blocked parallel scan followed by a reduction over the
+// per-block minima. Ties break toward the lower index, matching a
+// sequential scan exactly. It returns (-1, +Inf-free zero) for empty
+// input: idx == -1.
+func ArgMin(dists []float64) (idx int, val float64) {
+	n := len(dists)
+	if n == 0 {
+		return -1, 0
+	}
+	type part struct {
+		idx int
+		val float64
+	}
+	workers := Workers()
+	blocks := n / 1024
+	if blocks > workers {
+		blocks = workers
+	}
+	if blocks <= 1 {
+		idx, val = 0, dists[0]
+		for i := 1; i < n; i++ {
+			if dists[i] < val {
+				idx, val = i, dists[i]
+			}
+		}
+		return idx, val
+	}
+	parts := make([]part, blocks)
+	size := n / blocks
+	rem := n % blocks
+	var wg sync.WaitGroup
+	wg.Add(blocks)
+	lo := 0
+	for b := 0; b < blocks; b++ {
+		hi := lo + size
+		if b < rem {
+			hi++
+		}
+		go func(b, lo, hi int) {
+			defer wg.Done()
+			bi, bv := lo, dists[lo]
+			for i := lo + 1; i < hi; i++ {
+				if dists[i] < bv {
+					bi, bv = i, dists[i]
+				}
+			}
+			parts[b] = part{idx: bi, val: bv}
+		}(b, lo, hi)
+		lo = hi
+	}
+	wg.Wait()
+	best := parts[0]
+	for _, p := range parts[1:] {
+		if p.val < best.val || (p.val == best.val && p.idx < best.idx) {
+			best = p
+		}
+	}
+	return best.idx, best.val
+}

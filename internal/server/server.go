@@ -1,0 +1,237 @@
+// Package server exposes an RBC index over HTTP/JSON — the deployment
+// surface a production NN service needs. Queries run concurrently;
+// mutations (insert/delete/rebuild, exact indexes only) serialize behind
+// a write lock, matching the index's concurrency contract.
+//
+// Endpoints:
+//
+//	GET  /healthz              liveness probe
+//	GET  /stats                index metadata and live-point count
+//	POST /query                {"point":[…],"k":3}        → neighbors
+//	POST /range                {"point":[…],"eps":0.5}    → neighbors
+//	POST /insert               {"point":[…]}              → {"id":n}
+//	POST /delete               {"id":7}
+//	POST /rebuild              fold pending mutations
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/metric"
+	"repro/internal/vec"
+)
+
+// Server wraps one index over one dataset.
+type Server struct {
+	mu      sync.RWMutex
+	db      *vec.Dataset
+	m       metric.Metric[[]float32]
+	exact   *core.Exact   // non-nil in exact mode
+	oneshot *core.OneShot // non-nil in one-shot mode
+	mux     *http.ServeMux
+}
+
+// NewExact builds a server around an exact index (mutations enabled).
+func NewExact(db *vec.Dataset, m metric.Metric[[]float32], idx *core.Exact) *Server {
+	s := &Server{db: db, m: m, exact: idx}
+	s.routes()
+	return s
+}
+
+// NewOneShot builds a read-only server around a one-shot index.
+func NewOneShot(db *vec.Dataset, m metric.Metric[[]float32], idx *core.OneShot) *Server {
+	s := &Server{db: db, m: m, oneshot: idx}
+	s.routes()
+	return s
+}
+
+func (s *Server) routes() {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("POST /query", s.handleQuery)
+	mux.HandleFunc("POST /range", s.handleRange)
+	mux.HandleFunc("POST /insert", s.handleInsert)
+	mux.HandleFunc("POST /delete", s.handleDelete)
+	mux.HandleFunc("POST /rebuild", s.handleRebuild)
+	s.mux = mux
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...interface{}) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+type statsBody struct {
+	Mode    string `json:"mode"`
+	Metric  string `json:"metric"`
+	Points  int    `json:"points"`
+	Live    int    `json:"live"`
+	Dim     int    `json:"dim"`
+	NumReps int    `json:"num_reps"`
+	Dirty   bool   `json:"dirty"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	body := statsBody{Metric: s.m.Name(), Points: s.db.N(), Live: s.db.N(), Dim: s.db.Dim}
+	if s.exact != nil {
+		body.Mode = "exact"
+		body.NumReps = s.exact.NumReps()
+		body.Live = s.exact.Live()
+		body.Dirty = s.exact.Dirty()
+	} else {
+		body.Mode = "oneshot"
+		body.NumReps = s.oneshot.NumReps()
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+type queryRequest struct {
+	Point []float32 `json:"point"`
+	K     int       `json:"k"`
+	Eps   float64   `json:"eps"`
+}
+
+type neighborBody struct {
+	ID   int     `json:"id"`
+	Dist float64 `json:"dist"`
+}
+
+type queryResponse struct {
+	Neighbors []neighborBody `json:"neighbors"`
+	Evals     int64          `json:"evals"`
+}
+
+func (s *Server) decodePoint(w http.ResponseWriter, r *http.Request) (queryRequest, bool) {
+	var req queryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return req, false
+	}
+	if len(req.Point) != s.db.Dim {
+		writeError(w, http.StatusBadRequest, "point has %d dims, index has %d", len(req.Point), s.db.Dim)
+		return req, false
+	}
+	return req, true
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	req, ok := s.decodePoint(w, r)
+	if !ok {
+		return
+	}
+	if req.K <= 0 {
+		req.K = 1
+	}
+	var resp queryResponse
+	if s.exact != nil {
+		nbs, st := s.exact.KNN(req.Point, req.K)
+		for _, nb := range nbs {
+			resp.Neighbors = append(resp.Neighbors, neighborBody{ID: nb.ID, Dist: nb.Dist})
+		}
+		resp.Evals = st.TotalEvals()
+	} else {
+		nbs, st := s.oneshot.KNN(req.Point, req.K)
+		for _, nb := range nbs {
+			resp.Neighbors = append(resp.Neighbors, neighborBody{ID: nb.ID, Dist: nb.Dist})
+		}
+		resp.Evals = st.TotalEvals()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.exact == nil {
+		writeError(w, http.StatusNotImplemented, "range search requires an exact index")
+		return
+	}
+	req, ok := s.decodePoint(w, r)
+	if !ok {
+		return
+	}
+	if req.Eps < 0 {
+		writeError(w, http.StatusBadRequest, "eps must be non-negative")
+		return
+	}
+	nbs, st := s.exact.Range(req.Point, req.Eps)
+	resp := queryResponse{Evals: st.TotalEvals()}
+	for _, nb := range nbs {
+		resp.Neighbors = append(resp.Neighbors, neighborBody{ID: nb.ID, Dist: nb.Dist})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.exact == nil {
+		writeError(w, http.StatusNotImplemented, "mutations require an exact index")
+		return
+	}
+	req, ok := s.decodePoint(w, r)
+	if !ok {
+		return
+	}
+	id := s.exact.Insert(req.Point)
+	writeJSON(w, http.StatusOK, map[string]int{"id": id})
+}
+
+type deleteRequest struct {
+	ID int `json:"id"`
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.exact == nil {
+		writeError(w, http.StatusNotImplemented, "mutations require an exact index")
+		return
+	}
+	var req deleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
+	if err := s.exact.Delete(req.ID); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
+}
+
+func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.exact == nil {
+		writeError(w, http.StatusNotImplemented, "mutations require an exact index")
+		return
+	}
+	s.exact.Rebuild()
+	writeJSON(w, http.StatusOK, map[string]string{"status": "rebuilt"})
+}

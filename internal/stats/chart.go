@@ -1,0 +1,151 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Chart renders log-log scatter plots as ASCII, sized for terminal
+// output — the medium through which Figures 1 and 3 are reproduced.
+type Chart struct {
+	Title          string
+	XLabel, YLabel string
+	Width, Height  int
+	LogX, LogY     bool
+	series         []chartSeries
+}
+
+type chartSeries struct {
+	name   string
+	marker byte
+	xs, ys []float64
+}
+
+// NewChart creates a chart with sensible terminal dimensions.
+func NewChart(title, xlabel, ylabel string) *Chart {
+	return &Chart{Title: title, XLabel: xlabel, YLabel: ylabel, Width: 64, Height: 20}
+}
+
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Add appends a named series. Non-positive values are dropped on
+// log-scaled axes.
+func (c *Chart) Add(name string, xs, ys []float64) {
+	m := markers[len(c.series)%len(markers)]
+	c.series = append(c.series, chartSeries{name: name, marker: m, xs: xs, ys: ys})
+}
+
+func (c *Chart) transform(v float64, log bool) (float64, bool) {
+	if !log {
+		return v, true
+	}
+	if v <= 0 {
+		return 0, false
+	}
+	return math.Log10(v), true
+}
+
+// Render draws the chart.
+func (c *Chart) Render(w io.Writer) error {
+	// Collect transformed points and bounds.
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	type pt struct {
+		x, y float64
+		m    byte
+	}
+	var pts []pt
+	for _, s := range c.series {
+		for i := range s.xs {
+			if i >= len(s.ys) {
+				break
+			}
+			x, okx := c.transform(s.xs[i], c.LogX)
+			y, oky := c.transform(s.ys[i], c.LogY)
+			if !okx || !oky {
+				continue
+			}
+			pts = append(pts, pt{x, y, s.marker})
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	if len(pts) == 0 {
+		b.WriteString("(no data)\n")
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, c.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", c.Width))
+	}
+	for _, p := range pts {
+		col := int((p.x - minX) / (maxX - minX) * float64(c.Width-1))
+		row := c.Height - 1 - int((p.y-minY)/(maxY-minY)*float64(c.Height-1))
+		grid[row][col] = p.m
+	}
+	yLo, yHi := c.axisLabel(minY, c.LogY), c.axisLabel(maxY, c.LogY)
+	xLo, xHi := c.axisLabel(minX, c.LogX), c.axisLabel(maxX, c.LogX)
+	labelW := len(yLo)
+	if len(yHi) > labelW {
+		labelW = len(yHi)
+	}
+	for r := range grid {
+		label := strings.Repeat(" ", labelW)
+		if r == 0 {
+			label = pad(yHi, labelW)
+		} else if r == c.Height-1 {
+			label = pad(yLo, labelW)
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, grid[r])
+	}
+	fmt.Fprintf(&b, "%s +%s+\n", strings.Repeat(" ", labelW), strings.Repeat("-", c.Width))
+	gap := c.Width - len(xLo) - len(xHi)
+	if gap < 1 {
+		gap = 1
+	}
+	fmt.Fprintf(&b, "%s  %s%s%s\n", strings.Repeat(" ", labelW), xLo, strings.Repeat(" ", gap), xHi)
+	fmt.Fprintf(&b, "%s   x: %s, y: %s\n", strings.Repeat(" ", labelW), c.XLabel, c.YLabel)
+	legend := make([]string, 0, len(c.series))
+	for _, s := range c.series {
+		legend = append(legend, fmt.Sprintf("%c=%s", s.marker, s.name))
+	}
+	if len(legend) > 0 {
+		fmt.Fprintf(&b, "%s   %s\n", strings.Repeat(" ", labelW), strings.Join(legend, "  "))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func (c *Chart) axisLabel(v float64, log bool) string {
+	if log {
+		return fmt.Sprintf("1e%.1f", v)
+	}
+	return formatFloat(v)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}
+
+// String renders the chart to a string.
+func (c *Chart) String() string {
+	var b strings.Builder
+	_ = c.Render(&b)
+	return b.String()
+}

@@ -1,0 +1,161 @@
+package vec
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Binary format: magic "RBCV" | uint32 version | uint64 n | uint32 dim |
+// n*dim little-endian float32 values. The format is self-describing enough
+// for the tools in cmd/ to round-trip datasets.
+
+const (
+	binaryMagic   = "RBCV"
+	binaryVersion = 1
+)
+
+// WriteBinary serializes the dataset to w in the RBCV binary format.
+func (d *Dataset) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	hdr := make([]byte, 16)
+	binary.LittleEndian.PutUint32(hdr[0:4], binaryVersion)
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(d.N()))
+	binary.LittleEndian.PutUint32(hdr[12:16], uint32(d.Dim))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	buf := make([]byte, 4)
+	for _, v := range d.Data {
+		binary.LittleEndian.PutUint32(buf, math.Float32bits(v))
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses a dataset in the RBCV binary format.
+func ReadBinary(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("vec: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("vec: bad magic %q", magic)
+	}
+	hdr := make([]byte, 16)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("vec: reading header: %w", err)
+	}
+	version := binary.LittleEndian.Uint32(hdr[0:4])
+	if version != binaryVersion {
+		return nil, fmt.Errorf("vec: unsupported version %d", version)
+	}
+	n := binary.LittleEndian.Uint64(hdr[4:12])
+	dim := binary.LittleEndian.Uint32(hdr[12:16])
+	if dim == 0 && n > 0 {
+		return nil, fmt.Errorf("vec: zero dim with %d points", n)
+	}
+	total := int(n) * int(dim)
+	data := make([]float32, total)
+	buf := make([]byte, 4)
+	for i := 0; i < total; i++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("vec: reading value %d: %w", i, err)
+		}
+		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf))
+	}
+	if dim == 0 {
+		return &Dataset{}, nil
+	}
+	return FromFlat(data, int(dim)), nil
+}
+
+// SaveFile writes the dataset to path in binary format.
+func (d *Dataset) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.WriteBinary(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a binary dataset from path.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBinary(f)
+}
+
+// WriteCSV emits the dataset as comma-separated rows, one point per line.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	n := d.N()
+	for i := 0; i < n; i++ {
+		row := d.Row(i)
+		for j, v := range row {
+			if j > 0 {
+				if err := bw.WriteByte(','); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatFloat(float64(v), 'g', -1, 32)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses comma-separated rows into a Dataset. Blank lines are
+// skipped; all rows must have the same number of fields.
+func ReadCSV(r io.Reader) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	d := &Dataset{}
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		row := make([]float32, len(fields))
+		for j, f := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 32)
+			if err != nil {
+				return nil, fmt.Errorf("vec: line %d field %d: %w", line, j+1, err)
+			}
+			row[j] = float32(v)
+		}
+		if d.Dim != 0 && len(row) != d.Dim {
+			return nil, fmt.Errorf("vec: line %d has %d fields, want %d", line, len(row), d.Dim)
+		}
+		d.Append(row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}

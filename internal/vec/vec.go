@@ -1,0 +1,197 @@
+// Package vec provides the flat, row-major float32 dataset container used
+// throughout the RBC implementation, plus binary and CSV serialization.
+//
+// Points are stored contiguously (GPU-style) so that blocked scans stream
+// through memory; a Dataset is therefore a single []float32 of length
+// N*Dim, and Row(i) returns a zero-copy view of point i.
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dataset is a dense collection of N points in Dim dimensions stored in
+// row-major order. The zero value is an empty dataset ready for Append.
+type Dataset struct {
+	// Dim is the dimensionality of every point. It is fixed by the first
+	// Append (or the constructor) and immutable afterwards.
+	Dim int
+	// Data holds the points back to back: point i occupies
+	// Data[i*Dim : (i+1)*Dim].
+	Data []float32
+}
+
+// New returns a Dataset with capacity for n points of dimension dim,
+// initially empty.
+func New(dim, n int) *Dataset {
+	if dim <= 0 {
+		panic(fmt.Sprintf("vec: non-positive dimension %d", dim))
+	}
+	return &Dataset{Dim: dim, Data: make([]float32, 0, dim*n)}
+}
+
+// FromRows builds a Dataset by copying the given rows. All rows must share
+// one length.
+func FromRows(rows [][]float32) *Dataset {
+	if len(rows) == 0 {
+		return &Dataset{}
+	}
+	d := New(len(rows[0]), len(rows))
+	for _, r := range rows {
+		d.Append(r)
+	}
+	return d
+}
+
+// FromFlat wraps (without copying) an existing flat buffer containing n
+// points of dimension dim.
+func FromFlat(data []float32, dim int) *Dataset {
+	if dim <= 0 {
+		panic(fmt.Sprintf("vec: non-positive dimension %d", dim))
+	}
+	if len(data)%dim != 0 {
+		panic(fmt.Sprintf("vec: flat buffer length %d not a multiple of dim %d", len(data), dim))
+	}
+	return &Dataset{Dim: dim, Data: data}
+}
+
+// N reports the number of points.
+func (d *Dataset) N() int {
+	if d.Dim == 0 {
+		return 0
+	}
+	return len(d.Data) / d.Dim
+}
+
+// Row returns a zero-copy view of point i. The caller must not resize it.
+func (d *Dataset) Row(i int) []float32 {
+	return d.Data[i*d.Dim : (i+1)*d.Dim : (i+1)*d.Dim]
+}
+
+// Append adds a copy of p as a new point. The first Append on a zero-value
+// Dataset fixes the dimension.
+func (d *Dataset) Append(p []float32) {
+	if d.Dim == 0 {
+		d.Dim = len(p)
+	}
+	if len(p) != d.Dim {
+		panic(fmt.Sprintf("vec: appending point of dim %d to dataset of dim %d", len(p), d.Dim))
+	}
+	d.Data = append(d.Data, p...)
+}
+
+// Clone returns a deep copy.
+func (d *Dataset) Clone() *Dataset {
+	c := &Dataset{Dim: d.Dim, Data: make([]float32, len(d.Data))}
+	copy(c.Data, d.Data)
+	return c
+}
+
+// Subset returns a new Dataset holding copies of the rows listed in ids, in
+// order. Duplicate ids are allowed.
+func (d *Dataset) Subset(ids []int) *Dataset {
+	s := New(d.Dim, len(ids))
+	for _, id := range ids {
+		s.Append(d.Row(id))
+	}
+	return s
+}
+
+// Rows materializes the dataset as a slice of row views (zero-copy).
+func (d *Dataset) Rows() [][]float32 {
+	n := d.N()
+	rows := make([][]float32, n)
+	for i := 0; i < n; i++ {
+		rows[i] = d.Row(i)
+	}
+	return rows
+}
+
+// Equal reports whether two datasets hold identical contents.
+func (d *Dataset) Equal(o *Dataset) bool {
+	if d.N() != o.N() || (d.N() > 0 && d.Dim != o.Dim) {
+		return false
+	}
+	for i := range d.Data {
+		if d.Data[i] != o.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Bounds returns per-coordinate minima and maxima, or nil slices for an
+// empty dataset.
+func (d *Dataset) Bounds() (lo, hi []float32) {
+	n := d.N()
+	if n == 0 {
+		return nil, nil
+	}
+	lo = make([]float32, d.Dim)
+	hi = make([]float32, d.Dim)
+	copy(lo, d.Row(0))
+	copy(hi, d.Row(0))
+	for i := 1; i < n; i++ {
+		r := d.Row(i)
+		for j, v := range r {
+			if v < lo[j] {
+				lo[j] = v
+			}
+			if v > hi[j] {
+				hi[j] = v
+			}
+		}
+	}
+	return lo, hi
+}
+
+// Normalize rescales every coordinate into [0,1] in place using the
+// dataset's own bounds. Constant coordinates map to 0.
+func (d *Dataset) Normalize() {
+	lo, hi := d.Bounds()
+	if lo == nil {
+		return
+	}
+	n := d.N()
+	for i := 0; i < n; i++ {
+		r := d.Row(i)
+		for j := range r {
+			span := hi[j] - lo[j]
+			if span > 0 {
+				r[j] = (r[j] - lo[j]) / span
+			} else {
+				r[j] = 0
+			}
+		}
+	}
+}
+
+// Validate returns an error if the dataset contains NaN or Inf entries, or
+// if the buffer length is inconsistent with Dim.
+func (d *Dataset) Validate() error {
+	if d.Dim < 0 {
+		return fmt.Errorf("vec: negative dim %d", d.Dim)
+	}
+	if d.Dim == 0 {
+		if len(d.Data) != 0 {
+			return fmt.Errorf("vec: dim 0 with %d data values", len(d.Data))
+		}
+		return nil
+	}
+	if len(d.Data)%d.Dim != 0 {
+		return fmt.Errorf("vec: data length %d not a multiple of dim %d", len(d.Data), d.Dim)
+	}
+	for i, v := range d.Data {
+		f := float64(v)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return fmt.Errorf("vec: non-finite value %v at flat index %d (row %d)", v, i, i/d.Dim)
+		}
+	}
+	return nil
+}
+
+// String implements fmt.Stringer with a compact summary.
+func (d *Dataset) String() string {
+	return fmt.Sprintf("vec.Dataset{n=%d dim=%d}", d.N(), d.Dim)
+}

@@ -1,0 +1,314 @@
+package vec
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndAppend(t *testing.T) {
+	d := New(3, 2)
+	if d.N() != 0 || d.Dim != 3 {
+		t.Fatalf("fresh dataset: n=%d dim=%d, want 0,3", d.N(), d.Dim)
+	}
+	d.Append([]float32{1, 2, 3})
+	d.Append([]float32{4, 5, 6})
+	if d.N() != 2 {
+		t.Fatalf("n=%d, want 2", d.N())
+	}
+	if got := d.Row(1); !reflect.DeepEqual(got, []float32{4, 5, 6}) {
+		t.Fatalf("Row(1)=%v", got)
+	}
+}
+
+func TestZeroValueAppendFixesDim(t *testing.T) {
+	var d Dataset
+	d.Append([]float32{1, 2})
+	if d.Dim != 2 || d.N() != 1 {
+		t.Fatalf("dim=%d n=%d, want 2,1", d.Dim, d.N())
+	}
+}
+
+func TestAppendWrongDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched Append")
+		}
+	}()
+	d := New(2, 1)
+	d.Append([]float32{1, 2, 3})
+}
+
+func TestFromRows(t *testing.T) {
+	d := FromRows([][]float32{{1, 2}, {3, 4}, {5, 6}})
+	if d.N() != 3 || d.Dim != 2 {
+		t.Fatalf("n=%d dim=%d", d.N(), d.Dim)
+	}
+	if d.Row(2)[1] != 6 {
+		t.Fatalf("Row(2)[1]=%v", d.Row(2)[1])
+	}
+	empty := FromRows(nil)
+	if empty.N() != 0 {
+		t.Fatalf("empty FromRows n=%d", empty.N())
+	}
+}
+
+func TestFromFlat(t *testing.T) {
+	d := FromFlat([]float32{1, 2, 3, 4, 5, 6}, 3)
+	if d.N() != 2 {
+		t.Fatalf("n=%d", d.N())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on ragged flat buffer")
+		}
+	}()
+	FromFlat([]float32{1, 2, 3}, 2)
+}
+
+func TestRowIsView(t *testing.T) {
+	d := FromRows([][]float32{{1, 2}, {3, 4}})
+	d.Row(0)[1] = 42
+	if d.Data[1] != 42 {
+		t.Fatal("Row must be a zero-copy view")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	d := FromRows([][]float32{{1, 2}})
+	c := d.Clone()
+	c.Row(0)[0] = 9
+	if d.Row(0)[0] == 9 {
+		t.Fatal("Clone must deep-copy")
+	}
+	if !d.Equal(d.Clone()) {
+		t.Fatal("clone should Equal original")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	d := FromRows([][]float32{{0}, {1}, {2}, {3}})
+	s := d.Subset([]int{3, 1, 1})
+	want := FromRows([][]float32{{3}, {1}, {1}})
+	if !s.Equal(want) {
+		t.Fatalf("Subset=%v", s.Data)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := FromRows([][]float32{{1, 2}})
+	b := FromRows([][]float32{{1, 2}})
+	c := FromRows([][]float32{{1, 3}})
+	if !a.Equal(b) || a.Equal(c) {
+		t.Fatal("Equal misbehaves")
+	}
+	d := FromRows([][]float32{{1, 2}, {3, 4}})
+	if a.Equal(d) {
+		t.Fatal("different n should not be Equal")
+	}
+}
+
+func TestBounds(t *testing.T) {
+	d := FromRows([][]float32{{1, -5}, {3, 2}, {-2, 0}})
+	lo, hi := d.Bounds()
+	if !reflect.DeepEqual(lo, []float32{-2, -5}) || !reflect.DeepEqual(hi, []float32{3, 2}) {
+		t.Fatalf("lo=%v hi=%v", lo, hi)
+	}
+	var empty Dataset
+	lo, hi = empty.Bounds()
+	if lo != nil || hi != nil {
+		t.Fatal("empty Bounds should be nil")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	d := FromRows([][]float32{{0, 5, 7}, {10, 5, 3}})
+	d.Normalize()
+	if d.Row(0)[0] != 0 || d.Row(1)[0] != 1 {
+		t.Fatalf("coordinate 0 not normalized: %v %v", d.Row(0)[0], d.Row(1)[0])
+	}
+	if d.Row(0)[1] != 0 || d.Row(1)[1] != 0 {
+		t.Fatal("constant coordinate should map to 0")
+	}
+	if d.Row(0)[2] != 1 || d.Row(1)[2] != 0 {
+		t.Fatalf("coordinate 2: %v %v", d.Row(0)[2], d.Row(1)[2])
+	}
+}
+
+func TestValidate(t *testing.T) {
+	d := FromRows([][]float32{{1, 2}})
+	if err := d.Validate(); err != nil {
+		t.Fatalf("valid dataset: %v", err)
+	}
+	d.Data[0] = float32(math.NaN())
+	if err := d.Validate(); err == nil {
+		t.Fatal("NaN should fail Validate")
+	}
+	d.Data[0] = float32(math.Inf(1))
+	if err := d.Validate(); err == nil {
+		t.Fatal("Inf should fail Validate")
+	}
+	bad := &Dataset{Dim: 3, Data: []float32{1, 2}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("ragged buffer should fail Validate")
+	}
+}
+
+func TestString(t *testing.T) {
+	d := FromRows([][]float32{{1, 2}})
+	if s := d.String(); !strings.Contains(s, "n=1") || !strings.Contains(s, "dim=2") {
+		t.Fatalf("String()=%q", s)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := New(5, 100)
+	for i := 0; i < 100; i++ {
+		row := make([]float32, 5)
+		for j := range row {
+			row[j] = rng.Float32()*2 - 1
+		}
+		d.Append(row)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Equal(got) {
+		t.Fatal("binary round trip mismatch")
+	}
+}
+
+func TestBinaryEmptyRoundTrip(t *testing.T) {
+	var d Dataset
+	var buf bytes.Buffer
+	if err := d.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 0 {
+		t.Fatalf("n=%d", got.N())
+	}
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("XXXX0000000000000000"))); err == nil {
+		t.Fatal("bad magic should error")
+	}
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	d := FromRows([][]float32{{1, 2, 3}})
+	var buf bytes.Buffer
+	if err := d.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if _, err := ReadBinary(bytes.NewReader(raw[:len(raw)-2])); err == nil {
+		t.Fatal("truncated stream should error")
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	d := FromRows([][]float32{{1, 2}, {3, 4}})
+	path := filepath.Join(t.TempDir(), "d.rbcv")
+	if err := d.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Equal(got) {
+		t.Fatal("file round trip mismatch")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := FromRows([][]float32{{1.5, -2}, {0.25, 3}})
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Equal(got) {
+		t.Fatalf("csv round trip: %v vs %v", d.Data, got.Data)
+	}
+}
+
+func TestCSVBlankLinesAndErrors(t *testing.T) {
+	got, err := ReadCSV(strings.NewReader("1,2\n\n3,4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N() != 2 {
+		t.Fatalf("n=%d", got.N())
+	}
+	if _, err := ReadCSV(strings.NewReader("1,2\n3\n")); err == nil {
+		t.Fatal("ragged csv should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n")); err == nil {
+		t.Fatal("non-numeric csv should error")
+	}
+}
+
+// Property: binary round trip preserves arbitrary finite contents.
+func TestQuickBinaryRoundTrip(t *testing.T) {
+	f := func(rows [][4]float32) bool {
+		d := New(4, len(rows))
+		for _, r := range rows {
+			row := r
+			for j, v := range row {
+				if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+					row[j] = 0
+				}
+			}
+			d.Append(row[:])
+		}
+		var buf bytes.Buffer
+		if err := d.WriteBinary(&buf); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		return d.Equal(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Subset of all indices equals the original.
+func TestQuickSubsetIdentity(t *testing.T) {
+	f := func(vals []float32) bool {
+		const dim = 2
+		n := len(vals) / dim
+		d := FromFlat(append([]float32(nil), vals[:n*dim]...), dim)
+		ids := make([]int, n)
+		for i := range ids {
+			ids[i] = i
+		}
+		return d.Subset(ids).Equal(d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,100 @@
+package rbc
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/metric"
+	"repro/internal/vec"
+)
+
+// Dataset is a dense row-major float32 point collection; see
+// internal/vec for the full API (Append, Row, Subset, Save/Load, …).
+type Dataset = vec.Dataset
+
+// Metric is a distance over float32 vectors. Implementations used with
+// Exact must satisfy the triangle inequality.
+type Metric = metric.Metric[[]float32]
+
+// Result is a 1-NN answer: database id and distance (ID -1 when empty).
+type Result = core.Result
+
+// Stats reports per-search work: distance evaluations by phase and
+// pruning counters. See core.Stats.
+type Stats = core.Stats
+
+// ExactParams configures BuildExact; the zero value selects the paper's
+// standard setting (n_r ≈ √n, both pruning bounds).
+type ExactParams = core.ExactParams
+
+// OneShotParams configures BuildOneShot; the zero value selects
+// n_r = s ≈ √n with one probe.
+type OneShotParams = core.OneShotParams
+
+// Exact is the always-correct RBC index (paper §5.2).
+type Exact = core.Exact
+
+// OneShot is the probabilistically-correct RBC index (paper §5.1).
+type OneShot = core.OneShot
+
+// NewDataset returns an empty dataset expecting points of the given
+// dimension.
+func NewDataset(dim int) *Dataset { return vec.New(dim, 0) }
+
+// FromRows builds a dataset by copying rows (all the same length).
+func FromRows(rows [][]float32) *Dataset { return vec.FromRows(rows) }
+
+// LoadDataset reads a dataset saved with Dataset.SaveFile.
+func LoadDataset(path string) (*Dataset, error) { return vec.LoadFile(path) }
+
+// Euclidean returns the l2 metric used throughout the paper's
+// experiments.
+func Euclidean() Metric { return metric.Euclidean{} }
+
+// Manhattan returns the l1 metric.
+func Manhattan() Metric { return metric.Manhattan{} }
+
+// Chebyshev returns the l∞ metric.
+func Chebyshev() Metric { return metric.Chebyshev{} }
+
+// BuildExact constructs the exact-search index over db.
+func BuildExact(db *Dataset, m Metric, p ExactParams) (*Exact, error) {
+	return core.BuildExact(db, m, p)
+}
+
+// BuildOneShot constructs the one-shot index over db.
+func BuildOneShot(db *Dataset, m Metric, p OneShotParams) (*OneShot, error) {
+	return core.BuildOneShot(db, m, p)
+}
+
+// LoadExact restores an index saved with (*Exact).Save, reattaching it to
+// the database and metric it was built from.
+func LoadExact(r io.Reader, db *Dataset, m Metric) (*Exact, error) {
+	return core.LoadExact(r, db, m)
+}
+
+// LoadOneShot restores an index saved with (*OneShot).Save.
+func LoadOneShot(r io.Reader, db *Dataset, m Metric) (*OneShot, error) {
+	return core.LoadOneShot(r, db, m)
+}
+
+// DefaultNumReps returns the paper's standard representative count
+// (≈ √n) for a database of n points.
+func DefaultNumReps(n int) int { return core.DefaultNumReps(n) }
+
+// AutoTuneResult reports a representative-count search; see
+// core.AutoTuneExact.
+type AutoTuneResult = core.AutoTuneResult
+
+// AutoTuneExact selects NumReps for an exact index by measuring work on
+// probe queries over a grid around √n (Appendix C of the paper shows the
+// curve is forgiving, so a coarse grid suffices).
+func AutoTuneExact(db *Dataset, m Metric, probes *Dataset, seed int64) (AutoTuneResult, error) {
+	return core.AutoTuneExact(db, m, probes, seed)
+}
+
+// AutoTuneOneShot selects NumReps = S for a one-shot index subject to a
+// recall target measured on probe queries.
+func AutoTuneOneShot(db *Dataset, m Metric, probes *Dataset, targetRecall float64, seed int64) (AutoTuneResult, error) {
+	return core.AutoTuneOneShot(db, m, probes, targetRecall, seed)
+}
