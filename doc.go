@@ -27,6 +27,37 @@
 // returns work statistics (distance evaluations by phase) for
 // machine-independent performance analysis.
 //
+// # Tiled kernels and squared-distance ordering
+//
+// The brute-force primitive BF(Q,X) underneath every index is a tiled
+// matrix-matrix computation (repro/internal/metric.BatchMulti): blocks of
+// queries are compared against blocks of points so each point tile loaded
+// into cache is reused by the whole query block. Internally all
+// comparisons run on *ordering distances* — squared distances for
+// Euclidean, p-power sums for Minkowski — and the root is applied once per
+// returned neighbor at the API boundary. Because the surrogate is strictly
+// monotone, ordering, top-k selection and tie-breaking (toward lower ids)
+// are unaffected.
+//
+// Two kernel grades exist. The builds and the Exact query paths
+// (BuildExact, BuildOneShot, Exact.One/KNN/Search/SearchK/Range, and
+// bruteforce.Search/SearchK) use exact kernels whose per-pair arithmetic
+// is bit-identical to the per-query reference — results are reproducible
+// down to the last bit, ties included, for any tiling or batch shape.
+// (One caveat against pre-ordering-space code: when two *distinct*
+// squared distances round to the same sqrt, a post-sqrt comparison saw a
+// tie where ordering space sees a strict order and returns the strictly
+// nearer point.) BruteForce and BruteForceK use the
+// fastest kernels — the Gram decomposition ‖q−x‖² = ‖q‖²+‖x‖²−2·q·x over
+// precomputed squared norms for Euclidean — which reassociate the
+// summation and may differ from the reference in the trailing ulps of the
+// distance, never in the handling of exact ties. OneShot sits between the
+// two: its probe-selection phase runs on the Gram kernel against norms
+// cached in the index (so which ownership list is scanned can flip at
+// near-ties inside that ulp noise — within the algorithm's probabilistic
+// contract), while the list scans that produce the reported distances use
+// the exact kernel.
+//
 // Arbitrary metric spaces — edit distance on strings, shortest-path
 // distance on graph nodes — are supported through the generic API in
 // repro/internal/core (BuildGenericExact, BuildGenericOneShot); see

@@ -1,6 +1,7 @@
 package bruteforce
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -61,4 +62,69 @@ func BenchmarkRangeSearch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		RangeSearch(q, db, 0.5, m, nil)
 	}
+}
+
+// BF(Q,X) benchmark setting from the acceptance criteria: n=10k, |Q|=256,
+// dim swept over {16, 64, 256, 784}. BFTiled is the tiled matrix-matrix
+// primitive (Gram kernel, SearchFast); BFTiledExact is the bit-reproducible
+// tiled kernel behind Search; BFPerQuery is the pre-tiling baseline (one
+// database stream and one sqrt per candidate per query).
+
+var bfDims = []int{16, 64, 256, 784}
+
+const (
+	bfN = 10000
+	bfQ = 256
+)
+
+func benchQueries(nq, dim int) *vec.Dataset {
+	rng := rand.New(rand.NewSource(7))
+	qs := vec.New(dim, nq)
+	row := make([]float32, dim)
+	for i := 0; i < nq; i++ {
+		for j := range row {
+			row[j] = rng.Float32()
+		}
+		qs.Append(row)
+	}
+	return qs
+}
+
+func benchBF(b *testing.B, run func(queries, db *vec.Dataset)) {
+	for _, dim := range bfDims {
+		b.Run(fmt.Sprintf("dim=%d", dim), func(b *testing.B) {
+			db, _ := benchData(bfN, dim)
+			queries := benchQueries(bfQ, dim)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run(queries, db)
+			}
+			evals := float64(bfN) * float64(bfQ) * float64(b.N)
+			b.ReportMetric(evals/b.Elapsed().Seconds(), "dist-evals/s")
+		})
+	}
+}
+
+func BenchmarkBFTiled(b *testing.B) {
+	benchBF(b, func(queries, db *vec.Dataset) {
+		SearchFast(queries, db, metric.Euclidean{}, nil)
+	})
+}
+
+func BenchmarkBFTiledExact(b *testing.B) {
+	benchBF(b, func(queries, db *vec.Dataset) {
+		Search(queries, db, metric.Euclidean{}, nil)
+	})
+}
+
+func BenchmarkBFPerQuery(b *testing.B) {
+	benchBF(b, func(queries, db *vec.Dataset) {
+		searchPerQuery(queries, db, metric.Euclidean{}, nil)
+	})
+}
+
+func BenchmarkBFTiledK10(b *testing.B) {
+	benchBF(b, func(queries, db *vec.Dataset) {
+		SearchKFast(queries, db, 10, metric.Euclidean{}, nil)
+	})
 }

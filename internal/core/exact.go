@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/bruteforce"
 	"repro/internal/metric"
 	"repro/internal/par"
 	"repro/internal/vec"
@@ -55,10 +56,15 @@ func (p ExactParams) withDefaults(n int) ExactParams {
 //
 // The database rows are gathered into a permuted flat buffer in which each
 // list is contiguous and sorted by distance to its representative, so the
-// phase-2 scan streams memory just like phase 1.
+// phase-2 scan streams memory just like phase 1. Both phases compare in
+// squared-distance (ordering) space via the exact-mode tiled kernels —
+// results are bit-identical to the brute-force reference — and convert to
+// true distances only at the API boundary and for the pruning thresholds,
+// whose triangle-inequality math needs real distances.
 type Exact struct {
 	db  *vec.Dataset
 	m   metric.Metric[[]float32]
+	ker *metric.Kernel
 	prm ExactParams
 
 	repIDs  []int        // database ids of the representatives
@@ -76,9 +82,14 @@ type Exact struct {
 	mut *mutableState
 }
 
+// initKernel resolves the tiled kernel; called at build and load time.
+func (e *Exact) initKernel() { e.ker = metric.NewKernel(e.m) }
+
 // BuildExact constructs the exact-search RBC over db. The build is the
-// single brute-force call BF(X,R) (§4): each database point finds its
-// nearest representative; lists, radii and the gathered layout follow.
+// single brute-force call BF(X,R) (§4), computed as point-tile ×
+// representative-tile loops over the tiled kernel: each database point
+// finds its nearest representative; lists, radii and the gathered layout
+// follow.
 func BuildExact(db *vec.Dataset, m metric.Metric[[]float32], prm ExactParams) (*Exact, error) {
 	n := db.N()
 	if err := validateBuildInputs(n, db.Dim); err != nil {
@@ -96,25 +107,15 @@ func BuildExact(db *vec.Dataset, m metric.Metric[[]float32], prm ExactParams) (*
 	for _, id := range repIDs {
 		isRep[id] = true
 	}
-
-	// BF(X,R): nearest representative for every database point, parallel
-	// over the database (the matrix-matrix decomposition of §3).
+	// BF(X,R): nearest representative for every database point, through the
+	// tiled matrix-matrix primitive (ties break toward the lower rep index,
+	// matching the tile loops' lower-id rule).
 	owner := make([]int32, n)
 	ownerDist := make([]float64, n)
-	par.For(n, 256, func(lo, hi int) {
-		scratch := make([]float64, nr)
-		for i := lo; i < hi; i++ {
-			metric.BatchDistances(m, db.Row(i), repData.Data, db.Dim, scratch)
-			bi, bv := 0, scratch[0]
-			for j := 1; j < nr; j++ {
-				if scratch[j] < bv {
-					bi, bv = j, scratch[j]
-				}
-			}
-			owner[i] = int32(bi)
-			ownerDist[i] = bv
-		}
-	})
+	for i, r := range bruteforce.Search(db, repData, m, nil) {
+		owner[i] = int32(r.ID)
+		ownerDist[i] = r.Dist
+	}
 
 	// Bucket into lists (counting sort by owner), then sort each list by
 	// distance to its representative to enable the EarlyExit window.
@@ -153,11 +154,13 @@ func BuildExact(db *vec.Dataset, m metric.Metric[[]float32], prm ExactParams) (*
 		}
 	})
 
-	return &Exact{
+	e := &Exact{
 		db: db, m: m, prm: prm,
 		repIDs: repIDs, repData: repData, radii: radii, isRep: isRep,
 		offsets: offsets, ids: ids, dists: dists, gather: gather,
-	}, nil
+	}
+	e.initKernel()
+	return e, nil
 }
 
 // segSorter sorts a list segment by (dist, id) without allocating pairs.
@@ -204,11 +207,14 @@ func (e *Exact) Params() ExactParams { return e.prm }
 // One returns the exact nearest neighbor of q (or a (1+ε)-approximate one
 // when ApproxEps > 0), along with the work performed.
 func (e *Exact) One(q []float32) (Result, Stats) {
-	res, st := e.one(q, 1)
-	if len(res) == 0 {
+	sc := par.GetScratch()
+	defer par.PutScratch(sc)
+	h, st := e.one(q, 1, nil, sc)
+	nb, ok := h.Best()
+	if !ok {
 		return Result{ID: -1, Dist: math.Inf(1)}, st
 	}
-	return Result{ID: res[0].ID, Dist: res[0].Dist}, st
+	return Result{ID: nb.ID, Dist: e.ker.ToDistance(nb.Dist)}, st
 }
 
 // KNN returns the k exact nearest neighbors of q sorted by ascending
@@ -218,10 +224,28 @@ func (e *Exact) KNN(q []float32, k int) ([]par.Neighbor, Stats) {
 	if k <= 0 {
 		return nil, Stats{}
 	}
-	return e.one(q, k)
+	sc := par.GetScratch()
+	defer par.PutScratch(sc)
+	h, st := e.one(q, k, nil, sc)
+	return e.finish(h), st
 }
 
-// one runs the two-phase exact search for the k nearest neighbors.
+// finish extracts a heap's neighbors sorted ascending, converting ordering
+// distances at the boundary and re-sorting in distance space (the
+// conversion can map distinct ordering values to equal distances).
+func (e *Exact) finish(h *par.KHeap) []par.Neighbor {
+	res := h.Results()
+	for i := range res {
+		res[i].Dist = e.ker.ToDistance(res[i].Dist)
+	}
+	par.SortNeighbors(res)
+	return res
+}
+
+// one runs the two-phase exact search for the k nearest neighbors,
+// returning the candidate heap (in ordering space) from sc's slot 0.
+// ordRow optionally carries precomputed phase-1 ordering distances (the
+// batched BF(Q,R) front half); nil computes them here.
 //
 // Correctness of the pruning for k > 1: let γ_k be the k-th smallest
 // distance from q to a representative (or +inf if |R| < k). Since
@@ -231,15 +255,24 @@ func (e *Exact) KNN(q []float32, k int) ([]par.Neighbor, Stats) {
 // of the k NNs and r* owns x, then ρ(x,r*) ≤ ρ(x,q)+ρ(q,r_1) ≤ γ_k+γ_1,
 // so ρ(q,r*) ≤ ρ(q,x)+ρ(x,r*) ≤ 2γ_k+γ_1 ≤ 3γ_k — we prune with the
 // tighter 2γ_k+γ_1.
-func (e *Exact) one(q []float32, k int) ([]par.Neighbor, Stats) {
+func (e *Exact) one(q []float32, k int, ordRow []float64, sc *par.Scratch) (*par.KHeap, Stats) {
 	nr := e.NumReps()
 	dim := e.db.Dim
 	st := Stats{RepEvals: int64(nr)}
 
-	// Phase 1: brute force over the representatives, retaining distances.
-	repDists := make([]float64, nr)
-	metric.BatchDistances(e.m, q, e.repData.Data, dim, repDists)
-	gamma1, gammaK := e.liveGammas(repDists, k)
+	// Phase 1: brute force over the representatives in ordering space.
+	ords := ordRow
+	if ords == nil {
+		ords = sc.Float64(0, nr)
+		e.ker.Ordering(q, e.repData.Data, dim, ords)
+	}
+	// The pruning thresholds live in distance space (their derivations add
+	// distances), so convert once per representative — ~√n sqrts per query.
+	repDists := sc.Float64(1, nr)
+	for j, o := range ords {
+		repDists[j] = e.ker.ToDistance(o)
+	}
+	gamma1, gammaK := e.liveGammas(repDists, k, sc)
 
 	// Pruning thresholds. ApproxEps relaxes only the radius rule.
 	psiGamma := gammaK
@@ -248,19 +281,21 @@ func (e *Exact) one(q []float32, k int) ([]par.Neighbor, Stats) {
 	}
 	tripleBound := 2*gammaK + gamma1
 
-	h := par.NewKHeap(k)
+	h := sc.Heap(0, k)
 	// Seed the heap with the representatives themselves. They are database
 	// points whose distances are already paid for; this realizes the
 	// paper's implicit "γ is itself a candidate answer" and — together
 	// with the list scans below skipping representative ids — makes the
 	// returned k-NN multiset exact even at pruning-boundary ties.
-	for j, d := range repDists {
+	for j := range repDists {
 		if !e.isDeleted(e.repIDs[j]) {
-			h.Push(e.repIDs[j], d)
+			h.Push(e.repIDs[j], ords[j])
 		}
 	}
 
-	var scratch [256]float64
+	// Block buffer for the list scans; pooled because a local array would
+	// escape through the kernel's interface dispatch.
+	scratch := sc.Float64(5, 256)
 	for j := 0; j < nr; j++ {
 		d := repDists[j]
 		if e.prm.PrunePsi && d >= psiGamma+e.radii[j] {
@@ -287,7 +322,7 @@ func (e *Exact) one(q []float32, k int) ([]par.Neighbor, Stats) {
 				end = hi
 			}
 			out := scratch[:end-blk]
-			metric.BatchDistances(e.m, q, e.gather[blk*dim:end*dim], dim, out)
+			e.ker.Ordering(q, e.gather[blk*dim:end*dim], dim, out)
 			for i, dd := range out {
 				if id := int(e.ids[blk+i]); !e.isRep[id] && !e.isDeleted(id) {
 					h.Push(id, dd)
@@ -295,28 +330,32 @@ func (e *Exact) one(q []float32, k int) ([]par.Neighbor, Stats) {
 			}
 			st.PointEvals += int64(end - blk)
 		}
-		st.PointEvals += e.scanOverflow(j, q, w, d, func(id int, dd float64) {
-			if !e.isRep[id] {
-				h.Push(id, dd)
-			}
-		})
+		if e.mut != nil {
+			st.PointEvals += e.scanOverflow(j, q, w, d, scratch[:1], func(id int, dd float64) {
+				if !e.isRep[id] {
+					h.Push(id, dd)
+				}
+			})
+		}
 	}
-	return h.Results(), st
+	return h, st
 }
 
-// Search answers a batch of queries in parallel (one goroutine block per
-// query range) and returns the per-query results plus aggregated stats.
+// Search answers a batch of queries in parallel and returns the per-query
+// results plus aggregated stats. The phase-1 scans run as a single tiled
+// BF(Q,R) front half — query tiles against representative tiles — before
+// the per-query pruning and list scans.
 func (e *Exact) Search(queries *vec.Dataset) ([]Result, Stats) {
 	e.checkDim(queries.Dim)
 	out := make([]Result, queries.N())
-	stats := make([]Stats, queries.N())
-	par.ForEach(queries.N(), 1, func(i int) {
-		out[i], stats[i] = e.One(queries.Row(i))
+	agg := e.batch(queries, 1, func(i int, h *par.KHeap) {
+		nb, ok := h.Best()
+		if !ok {
+			out[i] = Result{ID: -1, Dist: math.Inf(1)}
+			return
+		}
+		out[i] = Result{ID: nb.ID, Dist: e.ker.ToDistance(nb.Dist)}
 	})
-	var agg Stats
-	for i := range stats {
-		agg.Add(stats[i])
-	}
 	return out, agg
 }
 
@@ -324,15 +363,24 @@ func (e *Exact) Search(queries *vec.Dataset) ([]Result, Stats) {
 func (e *Exact) SearchK(queries *vec.Dataset, k int) ([][]par.Neighbor, Stats) {
 	e.checkDim(queries.Dim)
 	out := make([][]par.Neighbor, queries.N())
-	stats := make([]Stats, queries.N())
-	par.ForEach(queries.N(), 1, func(i int) {
-		out[i], stats[i] = e.KNN(queries.Row(i), k)
-	})
-	var agg Stats
-	for i := range stats {
-		agg.Add(stats[i])
+	if k <= 0 {
+		return out, Stats{}
 	}
+	agg := e.batch(queries, k, func(i int, h *par.KHeap) {
+		out[i] = e.finish(h)
+	})
 	return out, agg
+}
+
+// batch runs the tiled BF(Q,R) front half and then the per-query back half
+// for every query, handing each query's candidate heap to sink.
+func (e *Exact) batch(queries *vec.Dataset, k int, sink func(i int, h *par.KHeap)) Stats {
+	return tileFrontHalf(e.ker, queries, e.repData, nil,
+		func(i int, row []float64, sc *par.Scratch, _ *metric.TileScratch) Stats {
+			h, st := e.one(queries.Row(i), k, row, sc)
+			sink(i, h)
+			return st
+		})
 }
 
 // Range returns every database point within eps of q, sorted by ascending
@@ -343,13 +391,18 @@ func (e *Exact) Range(q []float32, eps float64) ([]par.Neighbor, Stats) {
 	nr := e.NumReps()
 	dim := e.db.Dim
 	st := Stats{RepEvals: int64(nr)}
-	repDists := make([]float64, nr)
-	metric.BatchDistances(e.m, q, e.repData.Data, dim, repDists)
+	sc := par.GetScratch()
+	defer par.PutScratch(sc)
+	ords := sc.Float64(0, nr)
+	e.ker.Ordering(q, e.repData.Data, dim, ords)
+	// Ordering-space prefilter bound for eps; survivors are confirmed in
+	// distance space, and OrderingBound guarantees the boundary stays exact.
+	epsHi := e.ker.OrderingBound(math.Abs(eps))
 
 	var hits []par.Neighbor
-	var scratch [256]float64
+	scratch := sc.Float64(5, 256)
 	for j := 0; j < nr; j++ {
-		d := repDists[j]
+		d := e.ker.ToDistance(ords[j])
 		if d > eps+e.radii[j] {
 			st.PrunedPsi++
 			continue
@@ -366,26 +419,29 @@ func (e *Exact) Range(q []float32, eps float64) ([]par.Neighbor, Stats) {
 				end = hi
 			}
 			out := scratch[:end-blk]
-			metric.BatchDistances(e.m, q, e.gather[blk*dim:end*dim], dim, out)
-			for i, dd := range out {
-				if id := int(e.ids[blk+i]); dd <= eps && !e.isDeleted(id) {
-					hits = append(hits, par.Neighbor{ID: id, Dist: dd})
+			e.ker.Ordering(q, e.gather[blk*dim:end*dim], dim, out)
+			for i, o := range out {
+				if o <= epsHi {
+					if id := int(e.ids[blk+i]); !e.isDeleted(id) {
+						if dd := e.ker.ToDistance(o); dd <= eps {
+							hits = append(hits, par.Neighbor{ID: id, Dist: dd})
+						}
+					}
 				}
 			}
 			st.PointEvals += int64(end - blk)
 		}
-		st.PointEvals += e.scanOverflow(j, q, eps, d, func(id int, dd float64) {
-			if dd <= eps {
-				hits = append(hits, par.Neighbor{ID: id, Dist: dd})
-			}
-		})
-	}
-	sort.Slice(hits, func(a, b int) bool {
-		if hits[a].Dist != hits[b].Dist {
-			return hits[a].Dist < hits[b].Dist
+		if e.mut != nil {
+			st.PointEvals += e.scanOverflow(j, q, eps, d, scratch[:1], func(id int, o float64) {
+				if o <= epsHi {
+					if dd := e.ker.ToDistance(o); dd <= eps {
+						hits = append(hits, par.Neighbor{ID: id, Dist: dd})
+					}
+				}
+			})
 		}
-		return hits[a].ID < hits[b].ID
-	})
+	}
+	par.SortNeighbors(hits)
 	return hits, st
 }
 
@@ -396,8 +452,9 @@ func (e *Exact) checkDim(dim int) {
 }
 
 // kthSmallest returns the smallest value and the k-th smallest value of
-// xs (1-based k). When k exceeds len(xs) the k-th value is +Inf.
-func kthSmallest(xs []float64, k int) (first, kth float64) {
+// xs (1-based k). When k exceeds len(xs) the k-th value is +Inf. The
+// selection heap comes from sc's heap slot 1.
+func kthSmallest(xs []float64, k int, sc *par.Scratch) (first, kth float64) {
 	if len(xs) == 0 {
 		return math.Inf(1), math.Inf(1)
 	}
@@ -414,10 +471,11 @@ func kthSmallest(xs []float64, k int) (first, kth float64) {
 		}
 		return first, math.Inf(1)
 	}
-	h := par.NewKHeap(k)
+	h := sc.Heap(1, k)
 	for i, v := range xs {
 		h.Push(i, v)
 	}
-	res := h.Results()
-	return res[0].Dist, res[len(res)-1].Dist
+	best, _ := h.Best()
+	kthVal, _ := h.Worst() // the heap is full here, so the root is the k-th
+	return best.Dist, kthVal
 }

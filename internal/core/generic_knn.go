@@ -24,7 +24,9 @@ func (g *GenericExact[P]) KNN(q P, k int) ([]par.Neighbor, Stats) {
 	for j, rid := range g.repIDs {
 		repDists[j] = g.m.Distance(q, g.db[rid])
 	}
-	gamma1, gammaK := kthSmallest(repDists, k)
+	sc := par.GetScratch()
+	gamma1, gammaK := kthSmallest(repDists, k, sc)
+	par.PutScratch(sc)
 	psiGamma := gammaK
 	if g.prm.ApproxEps > 0 {
 		psiGamma = gammaK / (1 + g.prm.ApproxEps)

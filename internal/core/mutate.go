@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/metric"
+	"repro/internal/par"
 )
 
 // Dynamic updates for the Exact index. The RBC is a static structure in
@@ -196,11 +197,11 @@ func (e *Exact) Rebuild() {
 // liveGammas returns (γ_1, γ_k) computed over live representatives only,
 // falling back to +Inf (no pruning) when every representative is
 // tombstoned.
-func (e *Exact) liveGammas(repDists []float64, k int) (float64, float64) {
+func (e *Exact) liveGammas(repDists []float64, k int, sc *par.Scratch) (float64, float64) {
 	if e.mut == nil || e.mut.numDeleted == 0 {
-		return kthSmallest(repDists, k)
+		return kthSmallest(repDists, k, sc)
 	}
-	live := make([]float64, 0, len(repDists))
+	live := sc.Float64(2, len(repDists))[:0]
 	for j, d := range repDists {
 		if !e.mut.deleted[e.repIDs[j]] {
 			live = append(live, d)
@@ -209,17 +210,20 @@ func (e *Exact) liveGammas(repDists []float64, k int) (float64, float64) {
 	if len(live) == 0 {
 		return math.Inf(1), math.Inf(1)
 	}
-	return kthSmallest(live, k)
+	return kthSmallest(live, k, sc)
 }
 
-// scanOverflow pushes a representative's overflow members (respecting the
-// admissible window) and returns the number of distance evaluations.
-func (e *Exact) scanOverflow(j int, q []float32, w float64, d float64, h func(id int, dd float64)) int64 {
+// scanOverflow feeds a representative's overflow members (respecting the
+// admissible window, which lives in distance space) to h as ordering
+// distances, and returns the number of distance evaluations. buf is a
+// caller-pooled buffer of length >= 1 (a local array here would escape
+// through the kernel's interface dispatch).
+func (e *Exact) scanOverflow(j int, q []float32, w float64, d float64, buf []float64, h func(id int, ord float64)) int64 {
 	if e.mut == nil || len(e.mut.overflowIDs[j]) == 0 {
 		return 0
 	}
 	var evals int64
-	var out [1]float64
+	out := buf[:1]
 	for i, id := range e.mut.overflowIDs[j] {
 		if e.mut.deleted[id] {
 			continue
@@ -230,9 +234,9 @@ func (e *Exact) scanOverflow(j int, q []float32, w float64, d float64, h func(id
 				continue
 			}
 		}
-		// The batch path, even for one row, so rounding matches the
-		// gathered-scan and brute-force code paths bit for bit.
-		metric.BatchDistances(e.m, q, e.db.Row(int(id)), e.db.Dim, out[:])
+		// The kernel's ordering path, even for one row, so rounding matches
+		// the gathered-scan and brute-force code paths bit for bit.
+		e.ker.Ordering(q, e.db.Row(int(id)), e.db.Dim, out)
 		evals++
 		h(int(id), out[0])
 	}

@@ -52,14 +52,22 @@ func (p OneShotParams) withDefaults(n int) OneShotParams {
 // query scans exactly one ownership list — that of its nearest
 // representative. The answer is exact with probability ≥ 1−δ when
 // n_r = s = c·sqrt(n·ln(1/δ)) (Theorem 2).
+//
+// Phase 1 (probe selection) runs on the fast Gram kernel against squared
+// representative norms cached at build time, so repeated searches pay zero
+// setup; phase 2 (the list scan, whose distances are the reported answers)
+// runs on the exact ordering kernel, bit-compatible with the brute-force
+// reference. Both phases defer the sqrt to the API boundary.
 type OneShot struct {
 	db  *vec.Dataset
 	m   metric.Metric[[]float32]
+	ker *metric.Kernel
 	prm OneShotParams
 
-	repIDs  []int
-	repData *vec.Dataset
-	radii   []float64 // ψ_r = distance from r to its s-th neighbor
+	repIDs   []int
+	repData  *vec.Dataset
+	repNorms []float64 // cached ‖r‖² per representative (Gram phase 1)
+	radii    []float64 // ψ_r = distance from r to its s-th neighbor
 
 	// Ownership lists, gathered: list j occupies ids[j*s:(j+1)*s] and the
 	// matching rows of gather. Lists overlap, so gather duplicates rows by
@@ -69,9 +77,16 @@ type OneShot struct {
 	gather []float32
 }
 
+// initKernel resolves the tiled kernel and caches the representative
+// norms; called at build and load time.
+func (o *OneShot) initKernel() {
+	o.ker = metric.NewFastKernel(o.m)
+	o.repNorms = o.ker.Norms(o.repData.Data, o.repData.Dim, nil)
+}
+
 // BuildOneShot constructs the one-shot RBC over db. The build is the
-// single brute-force call BF(R,X) (§4): each representative finds its s
-// nearest database points.
+// single brute-force call BF(R,X) (§4) — each representative finds its s
+// nearest database points — computed with the tiled multi-query kernels.
 func BuildOneShot(db *vec.Dataset, m metric.Metric[[]float32], prm OneShotParams) (*OneShot, error) {
 	n := db.N()
 	if err := validateBuildInputs(n, db.Dim); err != nil {
@@ -92,10 +107,11 @@ func BuildOneShot(db *vec.Dataset, m metric.Metric[[]float32], prm OneShotParams
 		ids:    make([]int32, nr*s),
 		gather: make([]float32, nr*s*db.Dim),
 	}
-	// BF(R,X): the s nearest database points of every representative,
-	// parallel over representatives.
+	// BF(R,X): the s nearest database points of every representative, as a
+	// single tiled multi-query call.
+	lists := bruteforce.SearchK(repData, db, s, m, nil)
 	par.ForEach(nr, 1, func(j int) {
-		nbs := bruteforce.SearchOneK(repData.Row(j), db, s, m, nil)
+		nbs := lists[j]
 		for i, nb := range nbs {
 			pos := j*s + i
 			o.ids[pos] = int32(nb.ID)
@@ -103,6 +119,7 @@ func BuildOneShot(db *vec.Dataset, m metric.Metric[[]float32], prm OneShotParams
 		}
 		o.radii[j] = nbs[len(nbs)-1].Dist
 	})
+	o.initKernel()
 	return o, nil
 }
 
@@ -124,11 +141,14 @@ func (o *OneShot) Params() OneShotParams { return o.prm }
 // One runs the one-shot search for q: BF(q,R) to find the nearest
 // representative, then BF(q, X[L_r]) over its ownership list.
 func (o *OneShot) One(q []float32) (Result, Stats) {
-	res, st := o.KNN(q, 1)
-	if len(res) == 0 {
+	sc := par.GetScratch()
+	defer par.PutScratch(sc)
+	h, st := o.knn(q, 1, nil, sc)
+	nb, ok := h.Best()
+	if !ok {
 		return Result{ID: -1, Dist: math.Inf(1)}, st
 	}
-	return Result{ID: res[0].ID, Dist: res[0].Dist}, st
+	return Result{ID: nb.ID, Dist: o.ker.ToDistance(nb.Dist)}, st
 }
 
 // KNN returns the (probabilistically correct) k nearest neighbors of q,
@@ -138,31 +158,61 @@ func (o *OneShot) KNN(q []float32, k int) ([]par.Neighbor, Stats) {
 	if k <= 0 {
 		return nil, Stats{}
 	}
+	sc := par.GetScratch()
+	defer par.PutScratch(sc)
+	h, st := o.knn(q, k, nil, sc)
+	return o.finish(h), st
+}
+
+// finish extracts a heap's neighbors sorted ascending, converting ordering
+// distances at the boundary and re-sorting in distance space (the
+// conversion can map distinct ordering values to equal distances).
+func (o *OneShot) finish(h *par.KHeap) []par.Neighbor {
+	res := h.Results()
+	for i := range res {
+		res[i].Dist = o.ker.ToDistance(res[i].Dist)
+	}
+	par.SortNeighbors(res)
+	return res
+}
+
+// knn runs the one-shot search, returning the candidate heap (in ordering
+// space) from sc's heap slot 1. ordRow optionally carries precomputed
+// phase-1 ordering distances from the batched BF(Q,R) front half.
+func (o *OneShot) knn(q []float32, k int, ordRow []float64, sc *par.Scratch) (*par.KHeap, Stats) {
 	nr := o.NumReps()
 	dim := o.db.Dim
 	st := Stats{RepEvals: int64(nr)}
 
-	repDists := make([]float64, nr)
-	metric.BatchDistances(o.m, q, o.repData.Data, dim, repDists)
+	ords := ordRow
+	if ords == nil {
+		ords = sc.Float64(0, nr)
+		qn := o.ker.Norms(q, dim, sc.Float64(1, 1))
+		// nq=1 with precomputed norms takes the row-kernel path, which
+		// needs no tile scratch.
+		o.ker.Tile(q, qn, o.repData.Data, o.repNorms, dim, ords, nil)
+	}
 
 	probes := o.prm.Probes
 	if probes > nr {
 		probes = nr
 	}
-	probeHeap := par.NewKHeap(probes)
-	for j, d := range repDists {
+	probeHeap := sc.Heap(0, probes)
+	for j, d := range ords {
 		probeHeap.Push(j, d)
 	}
 
-	h := par.NewKHeap(k)
+	h := sc.Heap(1, k)
 	// With multiple probes a point may appear on several scanned lists;
 	// dedupe so k-NN result sets contain distinct ids.
 	var seen map[int32]struct{}
 	if probes > 1 {
 		seen = make(map[int32]struct{}, probes*o.s)
 	}
-	var scratch [256]float64
-	for _, probe := range probeHeap.Results() {
+	// Pooled block buffer: a local array would escape through the kernel's
+	// interface dispatch.
+	scratch := sc.Float64(5, 256)
+	for _, probe := range probeHeap.Kept() {
 		j := probe.ID
 		st.RepsKept++
 		lo, hi := j*o.s, (j+1)*o.s
@@ -172,7 +222,7 @@ func (o *OneShot) KNN(q []float32, k int) ([]par.Neighbor, Stats) {
 				end = hi
 			}
 			out := scratch[:end-blk]
-			metric.BatchDistances(o.m, q, o.gather[blk*dim:end*dim], dim, out)
+			o.ker.Ordering(q, o.gather[blk*dim:end*dim], dim, out)
 			for i, dd := range out {
 				id := o.ids[blk+i]
 				if seen != nil {
@@ -186,22 +236,23 @@ func (o *OneShot) KNN(q []float32, k int) ([]par.Neighbor, Stats) {
 			st.PointEvals += int64(end - blk)
 		}
 	}
-	return h.Results(), st
+	return h, st
 }
 
 // Search answers a batch of 1-NN queries in parallel and returns the
-// results plus aggregated stats.
+// results plus aggregated stats. The phase-1 scans run as a tiled BF(Q,R)
+// front half on the Gram kernel with the cached representative norms.
 func (o *OneShot) Search(queries *vec.Dataset) ([]Result, Stats) {
 	o.checkDim(queries.Dim)
 	out := make([]Result, queries.N())
-	stats := make([]Stats, queries.N())
-	par.ForEach(queries.N(), 1, func(i int) {
-		out[i], stats[i] = o.One(queries.Row(i))
+	agg := o.batch(queries, 1, func(i int, h *par.KHeap) {
+		nb, ok := h.Best()
+		if !ok {
+			out[i] = Result{ID: -1, Dist: math.Inf(1)}
+			return
+		}
+		out[i] = Result{ID: nb.ID, Dist: o.ker.ToDistance(nb.Dist)}
 	})
-	var agg Stats
-	for i := range stats {
-		agg.Add(stats[i])
-	}
 	return out, agg
 }
 
@@ -209,27 +260,47 @@ func (o *OneShot) Search(queries *vec.Dataset) ([]Result, Stats) {
 func (o *OneShot) SearchK(queries *vec.Dataset, k int) ([][]par.Neighbor, Stats) {
 	o.checkDim(queries.Dim)
 	out := make([][]par.Neighbor, queries.N())
-	stats := make([]Stats, queries.N())
-	par.ForEach(queries.N(), 1, func(i int) {
-		out[i], stats[i] = o.KNN(queries.Row(i), k)
-	})
-	var agg Stats
-	for i := range stats {
-		agg.Add(stats[i])
+	if k <= 0 {
+		return out, Stats{}
 	}
+	agg := o.batch(queries, k, func(i int, h *par.KHeap) {
+		out[i] = o.finish(h)
+	})
 	return out, agg
 }
 
+// batch runs the tiled BF(Q,R) front half and the per-query list scans,
+// handing each query's candidate heap to sink.
+func (o *OneShot) batch(queries *vec.Dataset, k int, sink func(i int, h *par.KHeap)) Stats {
+	return tileFrontHalf(o.ker, queries, o.repData, o.repNorms,
+		func(i int, row []float64, sc *par.Scratch, _ *metric.TileScratch) Stats {
+			h, st := o.knn(queries.Row(i), k, row, sc)
+			sink(i, h)
+			return st
+		})
+}
+
 // Certify reports whether the one-shot answer for q is guaranteed exact:
-// by the argument of Theorem 2, if ρ(q,r) ≤ ψ_r/2 for the nearest
-// representative r then q's true NN is necessarily on L_r. A false return
-// does not mean the answer is wrong — only unwitnessed.
+// if ρ(q,r) ≤ ψ_r/2 for the representative r whose list the search scans,
+// then (by the argument of Theorem 2, which needs only that r's list is
+// the one scanned) q's true NN is necessarily on L_r. The probe is chosen
+// with the same Gram phase-1 the search uses, so certificate and scan
+// always agree on r; the inequality itself is evaluated with the exact
+// kernel, because a hard witness must not inherit the fast kernel's ulp
+// noise. A false return does not mean the answer is wrong — only
+// unwitnessed.
 func (o *OneShot) Certify(q []float32) bool {
 	nr := o.NumReps()
-	repDists := make([]float64, nr)
-	metric.BatchDistances(o.m, q, o.repData.Data, o.db.Dim, repDists)
-	j, d := par.ArgMin(repDists)
-	return d <= o.radii[j]/2
+	dim := o.db.Dim
+	sc := par.GetScratch()
+	defer par.PutScratch(sc)
+	ords := sc.Float64(0, nr)
+	qn := o.ker.Norms(q, dim, sc.Float64(1, 1))
+	o.ker.Tile(q, qn, o.repData.Data, o.repNorms, dim, ords, nil)
+	j, _ := par.ArgMin(ords)
+	exact := sc.Float64(2, 1)
+	o.ker.Ordering(q, o.repData.Row(j), dim, exact)
+	return o.ker.ToDistance(exact[0]) <= o.radii[j]/2
 }
 
 func (o *OneShot) checkDim(dim int) {

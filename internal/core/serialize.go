@@ -86,13 +86,15 @@ func LoadExact(r io.Reader, db *vec.Dataset, m metric.Metric[[]float32]) (*Exact
 		}
 		copy(gather[p*db.Dim:(p+1)*db.Dim], db.Row(int(id)))
 	}
-	return &Exact{
+	e := &Exact{
 		db: db, m: m, prm: snap.Params,
 		repIDs: snap.RepIDs, repData: db.Subset(snap.RepIDs),
 		radii: snap.Radii, isRep: isRep,
 		offsets: snap.Offsets, ids: snap.IDs, dists: snap.Dists,
 		gather: gather,
-	}, nil
+	}
+	e.initKernel()
+	return e, nil
 }
 
 type oneShotSnapshot struct {
@@ -149,9 +151,11 @@ func LoadOneShot(r io.Reader, db *vec.Dataset, m metric.Metric[[]float32]) (*One
 		}
 		copy(gather[p*db.Dim:(p+1)*db.Dim], db.Row(int(id)))
 	}
-	return &OneShot{
+	o := &OneShot{
 		db: db, m: m, prm: snap.Params,
 		repIDs: snap.RepIDs, repData: db.Subset(snap.RepIDs),
 		radii: snap.Radii, s: snap.S, ids: snap.IDs, gather: gather,
-	}, nil
+	}
+	o.initKernel()
+	return o, nil
 }

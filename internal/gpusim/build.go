@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/bruteforce"
 	"repro/internal/metric"
-	"repro/internal/par"
 	"repro/internal/vec"
 )
 
@@ -45,10 +44,9 @@ func BuildOneShotIndex(db *vec.Dataset, numReps, s int, seed int64) (*OneShotInd
 		ListIDs: make(IReg, numReps*s),
 		ListPts: vec.New(db.Dim, numReps*s),
 	}
-	lists := make([][]par.Neighbor, numReps)
-	par.ForEach(numReps, 1, func(j int) {
-		lists[j] = bruteforce.SearchOneK(repData.Row(j), db, s, metric.Euclidean{}, nil)
-	})
+	// BF(R,X) through the shared tiled multi-query primitive: one
+	// matrix-matrix call instead of one database stream per representative.
+	lists := bruteforce.SearchK(repData, db, s, metric.Euclidean{}, nil)
 	for j := 0; j < numReps; j++ {
 		for i, nb := range lists[j] {
 			idx.ListIDs[j*s+i] = int32(nb.ID)

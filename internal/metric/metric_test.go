@@ -141,7 +141,7 @@ func TestBatchManhattan(t *testing.T) { batchMatchesScalar(t, Manhattan{}) }
 func TestBatchChebyshev(t *testing.T) { batchMatchesScalar(t, Chebyshev{}) }
 
 func TestBatchDistancesFallback(t *testing.T) {
-	// Minkowski has no Batch implementation; BatchDistances must fall back.
+	// Minkowski's Batch fast path must agree with per-point Distance calls.
 	m := NewMinkowski(3)
 	flat := []float32{1, 2, 3, 4}
 	q := []float32{0, 0}

@@ -24,7 +24,16 @@ func (Euclidean) Distance(a, b []float32) float64 {
 func (Euclidean) Name() string { return "euclidean" }
 
 // Distances implements Batch with a 4-way unrolled inner loop.
-func (Euclidean) Distances(q []float32, flat []float32, dim int, out []float64) {
+func (e Euclidean) Distances(q []float32, flat []float32, dim int, out []float64) {
+	e.OrderingDistances(q, flat, dim, out)
+	for i := range out {
+		out[i] = math.Sqrt(out[i])
+	}
+}
+
+// OrderingDistances implements OrderingBatch: squared distances with the
+// same accumulation as Distances, the sqrt deferred to the caller.
+func (Euclidean) OrderingDistances(q []float32, flat []float32, dim int, out []float64) {
 	for i := range out {
 		row := flat[i*dim : (i+1)*dim]
 		var s0, s1, s2, s3 float64
@@ -43,8 +52,21 @@ func (Euclidean) Distances(q []float32, flat []float32, dim int, out []float64) 
 			d := float64(q[j]) - float64(row[j])
 			s0 += d * d
 		}
-		out[i] = math.Sqrt(s0 + s1 + s2 + s3)
+		out[i] = s0 + s1 + s2 + s3
 	}
+}
+
+// ToDistance implements Orderer: the ordering distance is the square.
+func (Euclidean) ToDistance(o float64) float64 { return math.Sqrt(o) }
+
+// FromDistance implements Orderer.
+func (Euclidean) FromDistance(d float64) float64 { return d * d }
+
+// MultiDistances implements BatchMulti with the cache-blocked Gram kernel
+// (squared-distance ordering; norms computed per call). Callers that reuse
+// a point set across calls should go through Kernel with precomputed norms.
+func (Euclidean) MultiDistances(qflat, pflat []float32, dim int, out []float64) {
+	NewFastKernel(Euclidean{}).Tile(qflat, nil, pflat, nil, dim, out, nil)
 }
 
 // Manhattan is the l1 metric — the metric under which the paper's grid
@@ -62,6 +84,12 @@ func (Manhattan) Distance(a, b []float32) float64 {
 
 // Name implements Metric.
 func (Manhattan) Name() string { return "manhattan" }
+
+// OrderingDistances implements OrderingBatch; the l1 ordering distance is
+// the distance itself.
+func (m Manhattan) OrderingDistances(q []float32, flat []float32, dim int, out []float64) {
+	m.Distances(q, flat, dim, out)
+}
 
 // Distances implements Batch.
 func (Manhattan) Distances(q []float32, flat []float32, dim int, out []float64) {
@@ -92,6 +120,12 @@ func (Chebyshev) Distance(a, b []float32) float64 {
 
 // Name implements Metric.
 func (Chebyshev) Name() string { return "chebyshev" }
+
+// OrderingDistances implements OrderingBatch; the l∞ ordering distance is
+// the distance itself.
+func (c Chebyshev) OrderingDistances(q []float32, flat []float32, dim int, out []float64) {
+	c.Distances(q, flat, dim, out)
+}
 
 // Distances implements Batch.
 func (Chebyshev) Distances(q []float32, flat []float32, dim int, out []float64) {
@@ -133,6 +167,35 @@ func (m Minkowski) Distance(a, b []float32) float64 {
 
 // Name implements Metric.
 func (m Minkowski) Name() string { return fmt.Sprintf("minkowski(p=%g)", m.P) }
+
+// OrderingDistances implements OrderingBatch: the lp ordering distance is
+// the p-th power sum, leaving the final root to the API boundary.
+func (m Minkowski) OrderingDistances(q []float32, flat []float32, dim int, out []float64) {
+	for i := range out {
+		row := flat[i*dim : (i+1)*dim]
+		var s float64
+		for j := 0; j < dim; j++ {
+			s += math.Pow(math.Abs(float64(q[j])-float64(row[j])), m.P)
+		}
+		out[i] = s
+	}
+}
+
+// Distances implements Batch, sharing the power-sum loop with
+// OrderingDistances so batch and scalar paths agree.
+func (m Minkowski) Distances(q []float32, flat []float32, dim int, out []float64) {
+	m.OrderingDistances(q, flat, dim, out)
+	inv := 1 / m.P
+	for i := range out {
+		out[i] = math.Pow(out[i], inv)
+	}
+}
+
+// ToDistance implements Orderer.
+func (m Minkowski) ToDistance(o float64) float64 { return math.Pow(o, 1/m.P) }
+
+// FromDistance implements Orderer.
+func (m Minkowski) FromDistance(d float64) float64 { return math.Pow(d, m.P) }
 
 // Angular is the angle between vectors in radians: a proper metric on the
 // unit sphere (unlike raw cosine "distance", which violates the triangle

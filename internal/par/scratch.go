@@ -1,0 +1,71 @@
+package par
+
+import "sync"
+
+// Scratch is per-worker reusable buffer space for the tiled search paths:
+// ordering tiles, distance rows, candidate heaps. A worker acquires one
+// with GetScratch, carves buffers out of it by slot, and releases it with
+// PutScratch, so steady-state searches perform no per-query allocation.
+//
+// Slots are small fixed indices chosen by the caller; two live buffers must
+// use distinct slots. Requesting a slot again invalidates its previous
+// contents (the backing array is reused). Within internal/core the slot
+// ownership convention is: 0–2 and 5 belong to the per-query back half
+// (phase-1 orderings, converted distances, live-gamma buffer, list-scan
+// block), 3–4 and 6 to the batched front half (rows, tile, query norms).
+type Scratch struct {
+	f64   [8][]float64
+	ints  [2][]int
+	heaps [2]*KHeap
+	slab  []*KHeap
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// GetScratch returns a pooled Scratch.
+func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// PutScratch returns s to the pool. The caller must not retain any buffer
+// obtained from s afterwards.
+func PutScratch(s *Scratch) { scratchPool.Put(s) }
+
+// Float64 returns a length-n float64 buffer for slot. Contents are
+// unspecified.
+func (s *Scratch) Float64(slot, n int) []float64 {
+	if cap(s.f64[slot]) < n {
+		s.f64[slot] = make([]float64, n)
+	}
+	s.f64[slot] = s.f64[slot][:n]
+	return s.f64[slot]
+}
+
+// Ints returns a length-n int buffer for slot. Contents are unspecified.
+func (s *Scratch) Ints(slot, n int) []int {
+	if cap(s.ints[slot]) < n {
+		s.ints[slot] = make([]int, n)
+	}
+	s.ints[slot] = s.ints[slot][:n]
+	return s.ints[slot]
+}
+
+// Heap returns an empty KHeap with capacity k for slot.
+func (s *Scratch) Heap(slot, k int) *KHeap {
+	if s.heaps[slot] == nil {
+		s.heaps[slot] = NewKHeap(k)
+		return s.heaps[slot]
+	}
+	s.heaps[slot].Reconfigure(k)
+	return s.heaps[slot]
+}
+
+// HeapSlab returns n empty heaps of capacity k, for callers that select
+// top-k for a block of queries at once.
+func (s *Scratch) HeapSlab(n, k int) []*KHeap {
+	for len(s.slab) < n {
+		s.slab = append(s.slab, NewKHeap(k))
+	}
+	for i := 0; i < n; i++ {
+		s.slab[i].Reconfigure(k)
+	}
+	return s.slab[:n]
+}

@@ -1,6 +1,6 @@
 package par
 
-import "sort"
+import "slices"
 
 // Neighbor is a candidate result: a point id and its distance to the
 // query.
@@ -115,14 +115,65 @@ func (h *KHeap) Merge(o *KHeap) {
 func (h *KHeap) Results() []Neighbor {
 	out := make([]Neighbor, len(h.data))
 	copy(out, h.data)
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Dist != out[j].Dist {
-			return out[i].Dist < out[j].Dist
-		}
-		return out[i].ID < out[j].ID
-	})
+	SortNeighbors(out)
 	return out
 }
 
 // Reset empties the heap, retaining capacity.
 func (h *KHeap) Reset() { h.data = h.data[:0] }
+
+// Reconfigure empties the heap and sets a new capacity bound, reusing the
+// backing array when possible. k must be positive.
+func (h *KHeap) Reconfigure(k int) {
+	if k <= 0 {
+		panic("par: KHeap needs k >= 1")
+	}
+	h.k = k
+	if cap(h.data) < k {
+		h.data = make([]Neighbor, 0, k)
+	} else {
+		h.data = h.data[:0]
+	}
+}
+
+// Best returns the smallest kept neighbor (ties toward the lower ID)
+// without allocating. ok is false when the heap is empty.
+func (h *KHeap) Best() (best Neighbor, ok bool) {
+	if len(h.data) == 0 {
+		return Neighbor{}, false
+	}
+	best = h.data[0]
+	for _, nb := range h.data[1:] {
+		if nb.Dist < best.Dist || (nb.Dist == best.Dist && nb.ID < best.ID) {
+			best = nb
+		}
+	}
+	return best, true
+}
+
+// Kept returns the retained neighbors in heap order (unsorted). The slice
+// is borrowed: it is valid only until the next Push, Reset or Reconfigure.
+func (h *KHeap) Kept() []Neighbor { return h.data }
+
+// SortNeighbors orders ns by ascending (Dist, ID) without allocating.
+// Callers that select in ordering space re-sort with this after converting
+// to distances, because the conversion can map adjacent ordering values to
+// equal distances (and math.Pow-based conversions are not even guaranteed
+// monotone over adjacent floats).
+func SortNeighbors(ns []Neighbor) {
+	slices.SortFunc(ns, func(a, b Neighbor) int {
+		switch {
+		case a.Dist != b.Dist:
+			if a.Dist < b.Dist {
+				return -1
+			}
+			return 1
+		case a.ID != b.ID:
+			if a.ID < b.ID {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	})
+}

@@ -3,8 +3,10 @@ package rbc
 import (
 	"io"
 
+	"repro/internal/bruteforce"
 	"repro/internal/core"
 	"repro/internal/metric"
+	"repro/internal/par"
 	"repro/internal/vec"
 )
 
@@ -56,6 +58,39 @@ func Manhattan() Metric { return metric.Manhattan{} }
 
 // Chebyshev returns the l∞ metric.
 func Chebyshev() Metric { return metric.Chebyshev{} }
+
+// Minkowski returns the lp metric for p >= 1 (it panics for p < 1, which
+// is not a metric).
+func Minkowski(p float64) Metric { return metric.NewMinkowski(p) }
+
+// Angular returns the angle-between-vectors metric (a true metric on the
+// unit sphere, unlike raw cosine "distance").
+func Angular() Metric { return metric.Angular{} }
+
+// BruteForce answers every query exactly with the tiled BF(Q,X)
+// matrix-matrix primitive — no index, one pass over the database shared by
+// the whole query block. It is the baseline the RBC indexes are measured
+// against and the right tool for one-off batches too small to amortize an
+// index build. Distances may differ from the per-query scan in the last
+// ulps for Euclidean (the kernel reassociates the summation); exact
+// duplicates still tie toward the lower id.
+func BruteForce(queries, db *Dataset, m Metric) []Result {
+	rs := bruteforce.SearchFast(queries, db, m, nil)
+	out := make([]Result, len(rs))
+	for i, r := range rs {
+		out[i] = Result{ID: r.ID, Dist: r.Dist}
+	}
+	return out
+}
+
+// BruteForceK is the k-NN form of BruteForce; results are sorted by
+// ascending distance, ties toward the lower id.
+func BruteForceK(queries, db *Dataset, k int, m Metric) [][]Neighbor {
+	return bruteforce.SearchKFast(queries, db, k, m, nil)
+}
+
+// Neighbor is a k-NN result entry: database id and distance.
+type Neighbor = par.Neighbor
 
 // BuildExact constructs the exact-search index over db.
 func BuildExact(db *Dataset, m Metric, p ExactParams) (*Exact, error) {
