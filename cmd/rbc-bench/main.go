@@ -9,10 +9,16 @@
 //	rbc-bench -exp fig2                     # one experiment
 //	rbc-bench -exp paper                    # table1 fig1 fig2 table2 table3 fig3
 //	rbc-bench -exp all -scale 0.02 -out results/
+//	rbc-bench -concurrency 64               # serving-style coalescer benchmark
 //
 // At -scale 1 the workloads match the paper's Table 1 sizes; the default
 // 0.01 runs in minutes on a laptop while preserving the √n parameter
 // couplings (so speedup shapes carry over).
+//
+// With -concurrency N the command switches to a serving-style mode: N
+// closed-loop clients drive the HTTP server's /query endpoint and the
+// run reports QPS and p50/p99 latency for the per-query path, the
+// request-coalescing path, and the raw single-stream index as a floor.
 package main
 
 import (
@@ -35,8 +41,28 @@ func main() {
 		repFac   = flag.Float64("repfactor", 2, "n_r multiplier on sqrt(n) for exact search")
 		outDir   = flag.String("out", "", "directory for .txt/.csv outputs (optional)")
 		listOnly = flag.Bool("list", false, "list experiments and exit")
+
+		concurrency = flag.Int("concurrency", 0, "serving mode: closed-loop clients driving /query (0 = run experiments instead)")
+		serveN      = flag.Int("serve-n", 10000, "serving mode: database size")
+		serveDim    = flag.Int("serve-dim", 64, "serving mode: dimension")
+		serveSecs   = flag.Float64("serve-secs", 3, "serving mode: seconds per measured configuration")
+		serveBatch  = flag.Int("serve-batch", 0, "serving mode: coalescer max batch (0 = concurrency)")
+		serveWait   = flag.Duration("serve-wait", 500*time.Microsecond, "serving mode: coalescer max wait")
 	)
 	flag.Parse()
+
+	if *concurrency > 0 {
+		err := runServeBench(serveBenchConfig{
+			n: *serveN, dim: *serveDim, concurrency: *concurrency,
+			secs: *serveSecs, batchMax: *serveBatch, batchWait: *serveWait,
+			seed: *seed,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rbc-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *listOnly {
 		for _, e := range harness.Registry() {

@@ -1,0 +1,155 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/metric"
+	"repro/internal/server"
+	"repro/internal/stats"
+	"repro/internal/vec"
+)
+
+// serveBenchConfig parameterizes the serving-style benchmark (-concurrency).
+type serveBenchConfig struct {
+	n, dim      int           // database size and dimension
+	concurrency int           // closed-loop client goroutines
+	secs        float64       // measurement window per mode
+	batchMax    int           // coalescer batch bound (defaults to concurrency)
+	batchWait   time.Duration // coalescer max wait
+	seed        int64
+}
+
+// runServeBench measures the serving path end to end: closed-loop clients
+// hammer /query and we report QPS and latency percentiles for the
+// per-query server, the coalescing server, and — as the floor — the
+// index driven directly as a single stream. The workload is the
+// compute-bound serving regime (overlapping dim-`dim` Gaussian clusters,
+// held-out queries), where batching concurrent requests into one tiled
+// BF(Q,R)+grouped-scan call pays the most.
+func runServeBench(cfg serveBenchConfig) error {
+	if cfg.batchMax <= 0 {
+		cfg.batchMax = cfg.concurrency
+	}
+	const queryPool = 256
+	all := dataset.GaussianClusters(cfg.n+queryPool, cfg.dim, 32, 5.0, cfg.seed)
+	ids := make([]int, cfg.n)
+	for i := range ids {
+		ids[i] = i
+	}
+	db := all.Subset(ids)
+	fmt.Printf("building exact index: n=%d dim=%d ... ", cfg.n, cfg.dim)
+	start := time.Now()
+	idx, err := core.BuildExact(db, metric.Euclidean{}, core.ExactParams{Seed: cfg.seed, EarlyExit: true})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("done in %v (%d representatives)\n", time.Since(start).Round(time.Millisecond), idx.NumReps())
+
+	queries := vec.New(cfg.dim, queryPool)
+	bodies := make([][]byte, queryPool)
+	for i := 0; i < queryPool; i++ {
+		q := all.Row(cfg.n + i)
+		queries.Append(q)
+		type req struct {
+			Point []float32 `json:"point"`
+			K     int       `json:"k"`
+		}
+		bodies[i], _ = json.Marshal(req{Point: q, K: 1})
+	}
+
+	// Floor: the index driven directly, one query at a time, one stream.
+	singleStart := time.Now()
+	singleN := 0
+	for time.Since(singleStart).Seconds() < cfg.secs {
+		idx.KNN(queries.Row(singleN%queryPool), 1)
+		singleN++
+	}
+	singleQPS := float64(singleN) / time.Since(singleStart).Seconds()
+
+	table := stats.NewTable(
+		fmt.Sprintf("serving throughput: %d closed-loop clients, n=%d dim=%d (window %.0fs)",
+			cfg.concurrency, cfg.n, cfg.dim, cfg.secs),
+		"mode", "qps", "p50 ms", "p99 ms")
+	table.AddRow("single-stream index (no HTTP)", fmt.Sprintf("%.0f", singleQPS), "-", "-")
+
+	perQPS, p50, p99, err := driveServer(server.NewExact(db, metric.Euclidean{}, idx), cfg, bodies)
+	if err != nil {
+		return err
+	}
+	table.AddRow("server, per-query", fmt.Sprintf("%.0f", perQPS),
+		fmt.Sprintf("%.2f", p50), fmt.Sprintf("%.2f", p99))
+
+	co := server.NewExact(db, metric.Euclidean{}, idx,
+		server.WithCoalescing(cfg.batchMax, cfg.batchWait))
+	coQPS, cp50, cp99, err := driveServer(co, cfg, bodies)
+	co.Close()
+	if err != nil {
+		return err
+	}
+	table.AddRow(fmt.Sprintf("server, coalesced (batch<=%d, wait %v)", cfg.batchMax, cfg.batchWait),
+		fmt.Sprintf("%.0f", coQPS), fmt.Sprintf("%.2f", cp50), fmt.Sprintf("%.2f", cp99))
+	table.AddRow("coalescing speedup", fmt.Sprintf("%.2fx", coQPS/perQPS), "", "")
+
+	fmt.Println()
+	return table.Render(os.Stdout)
+}
+
+// driveServer runs cfg.concurrency closed-loop clients against s for
+// cfg.secs and returns QPS plus p50/p99 latency in milliseconds.
+func driveServer(s *server.Server, cfg serveBenchConfig, bodies [][]byte) (qps, p50, p99 float64, err error) {
+	deadline := time.Now().Add(time.Duration(cfg.secs * float64(time.Second)))
+	lats := make([][]float64, cfg.concurrency)
+	var failed atomic.Int64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < cfg.concurrency; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			i := c * 31
+			for time.Now().Before(deadline) {
+				i++
+				req := httptest.NewRequest("POST", "/query", bytes.NewReader(bodies[i%len(bodies)]))
+				rec := httptest.NewRecorder()
+				t0 := time.Now()
+				s.ServeHTTP(rec, req)
+				lats[c] = append(lats[c], time.Since(t0).Seconds()*1000)
+				if rec.Code != http.StatusOK {
+					failed.Add(1)
+					_, _ = io.Copy(io.Discard, rec.Body)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	if failed.Load() > 0 {
+		return 0, 0, 0, fmt.Errorf("serve bench: %d requests failed", failed.Load())
+	}
+	var all []float64
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	if len(all) == 0 {
+		return 0, 0, 0, fmt.Errorf("serve bench: no requests completed")
+	}
+	sort.Float64s(all)
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(all)-1))
+		return all[i]
+	}
+	return float64(len(all)) / elapsed, pct(0.50), pct(0.99), nil
+}

@@ -12,6 +12,8 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	rbc "repro"
@@ -21,11 +23,13 @@ import (
 
 func main() {
 	var (
-		dataPath = flag.String("data", "", "dataset file (RBCV binary; required)")
-		mode     = flag.String("mode", "exact", "index type: exact or oneshot")
-		numReps  = flag.Int("reps", 0, "number of representatives (0 = sqrt(n))")
-		seed     = flag.Int64("seed", 1, "random seed")
-		addr     = flag.String("addr", ":8080", "listen address")
+		dataPath  = flag.String("data", "", "dataset file (RBCV binary; required)")
+		mode      = flag.String("mode", "exact", "index type: exact or oneshot")
+		numReps   = flag.Int("reps", 0, "number of representatives (0 = sqrt(n))")
+		seed      = flag.Int64("seed", 1, "random seed")
+		addr      = flag.String("addr", ":8080", "listen address")
+		batchMax  = flag.Int("batch-max", 64, "coalesce up to this many concurrent queries per batch (<=1 disables)")
+		batchWait = flag.Duration("batch-wait", 500*time.Microsecond, "max time a query parks waiting for its batch to fill")
 	)
 	flag.Parse()
 	if *dataPath == "" {
@@ -37,6 +41,7 @@ func main() {
 		log.Fatalf("rbc-server: %v", err)
 	}
 	m := rbc.Euclidean()
+	coalesce := server.WithCoalescing(*batchMax, *batchWait)
 	var srv *server.Server
 	start := time.Now()
 	switch *mode {
@@ -45,7 +50,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("rbc-server: %v", err)
 		}
-		srv = server.NewExact(db, m, idx)
+		srv = server.NewExact(db, m, idx, coalesce)
 		log.Printf("exact index: %d points, %d representatives (built in %v)",
 			db.N(), idx.NumReps(), time.Since(start))
 	case "oneshot":
@@ -53,12 +58,27 @@ func main() {
 		if err != nil {
 			log.Fatalf("rbc-server: %v", err)
 		}
-		srv = server.NewOneShot(db, m, idx)
+		srv = server.NewOneShot(db, m, idx, coalesce)
 		log.Printf("one-shot index: %d points, %d representatives, s=%d (built in %v)",
 			db.N(), idx.NumReps(), idx.S(), time.Since(start))
 	default:
 		log.Fatalf("rbc-server: unknown mode %q", *mode)
 	}
+	if *batchMax > 1 {
+		log.Printf("query coalescing: up to %d queries per batch, max wait %v", *batchMax, *batchWait)
+	}
+	// On SIGINT/SIGTERM, drain parked coalesced queries before exiting
+	// (log.Fatal would skip deferred Close, so shutdown is explicit).
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigc
+		log.Printf("received %v, draining pending queries", sig)
+		srv.Close()
+		os.Exit(0)
+	}()
 	log.Printf("serving on %s", *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv))
+	err = http.ListenAndServe(*addr, srv)
+	srv.Close()
+	log.Fatal(err)
 }

@@ -22,10 +22,26 @@
 //	res, _ := idx.One(query)           // res.ID, res.Dist
 //
 // Both index types support k-NN (KNN, SearchK) and batched parallel
-// search (Search); Exact additionally supports ε-range queries (Range)
-// and a (1+ε)-approximate mode (ExactParams.ApproxEps). Every search
-// returns work statistics (distance evaluations by phase) for
-// machine-independent performance analysis.
+// search (Search); Exact additionally supports ε-range queries (Range,
+// RangeBatch) and a (1+ε)-approximate mode (ExactParams.ApproxEps).
+// Every search returns work statistics (distance evaluations by phase)
+// for machine-independent performance analysis.
+//
+// # The batch query plane
+//
+// Everything above the kernels is batch-first: the Searcher and
+// BatchSearcher interfaces (repro/internal/search) make "answer this
+// block of queries" the common currency between the indexes, the HTTP
+// server, the distributed cluster and the experiment harness. KNNBatch
+// on Exact and OneShot answers a whole block through one tiled BF(Q,R)
+// front half and grouped phase-2 scans — each surviving ownership list
+// is scanned once per query tile as a small matrix-matrix call shared by
+// every query that kept it — with results bit-identical to per-query
+// KNN. The HTTP server (repro/internal/server) converts concurrent
+// single-query traffic into such blocks by request coalescing, and the
+// distributed cluster (repro/internal/distributed) groups a block's
+// surviving lists by owning shard so each shard receives one request per
+// block instead of one per query.
 //
 // # Tiled kernels and squared-distance ordering
 //

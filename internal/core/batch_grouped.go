@@ -1,0 +1,385 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/metric"
+	"repro/internal/par"
+	"repro/internal/vec"
+)
+
+// This file holds the fully batched (grouped) back halves of Exact and
+// OneShot batch search. tileFrontHalf (batch.go) batches only phase 1 —
+// the BF(Q,R) representative scan — and then runs each query's list
+// scans alone through the row kernel. For a query *block*, that leaves
+// the dominant phase-2 work on the slowest path. The grouped back half
+// inverts the loop: within a tile of queries it computes, per ownership
+// list, the set of queries whose pruning kept that list ("takers"), and
+// scans the list once for all of them through the tiled kernel — phase 2
+// becomes a sequence of small BF(Q', L) matrix-matrix calls, one per
+// surviving list, instead of per-query matrix-vector sweeps.
+//
+// Correctness: per query, the candidates pushed are exactly those the
+// per-query path pushes (each taker only admits positions inside its own
+// EarlyExit window, representatives stay excluded), in the same list
+// order, evaluated with the same per-pair arithmetic (the exact-mode
+// Tile is bit-identical to Ordering). Results are therefore bit-identical
+// to the per-query path.
+//
+// The scan is adaptive per point block: when at least two takers'
+// windows cover most of a block, the block is evaluated as one tile;
+// otherwise each taker row-scans just its own window slice, exactly like
+// the per-query path. The tile may therefore evaluate up to ~2× more
+// pairs than the windows strictly require (the tileWasteFactor bound);
+// PointEvals counts admissible-window pairs on both paths, so work
+// statistics stay comparable between per-query and batched search.
+//
+// The grouped path requires a pristine index: dynamic state (tombstones,
+// overflow lists) falls back to the per-query back half, which knows how
+// to consult it.
+
+// tileWasteFactor bounds how many surplus pairs a phase-2 tile may
+// evaluate relative to the takers' admissible windows: a block is tiled
+// only when takers×blockWidth ≤ tileWasteFactor × Σ window lengths.
+// Tiled pairs cost roughly half a row-path pair (no per-pair float32
+// widening), so 2 is the break-even point.
+const tileWasteFactor = 2
+
+// batchGrouped runs the grouped two-phase batch search for Exact.
+func (e *Exact) batchGrouped(queries *vec.Dataset, k int, sink func(i int, h *par.KHeap)) Stats {
+	nq := queries.N()
+	nr := e.NumReps()
+	dim := e.db.Dim
+	tq, tp := metric.TileShape(dim)
+	var agg Stats
+	var mu sync.Mutex
+	par.For(nq, 1, func(lo, hi int) {
+		sc := par.GetScratch()
+		defer par.PutScratch(sc)
+		ts := metric.GetTileScratch()
+		defer metric.PutTileScratch(ts)
+		var local Stats
+		rows := sc.Float64(3, tq*nr)  // phase-1 ordering distances
+		tile := sc.Float64(4, tq*tp)  // shared kernel tile
+		dists := sc.Float64(0, tq*nr) // phase-1 true distances (pruning space)
+		bounds := sc.Float64(1, 2*tq) // per-query psiGamma, tripleBound
+		tIdx := sc.Ints(0, tq)        // per-list takers (tile-local query index)
+		tWin := sc.Ints(1, 2*tq)      // per-taker window [lo,hi)
+		bIdx := sc.Ints(2, tq)        // per-block intersecting takers
+		bWin := sc.Ints(3, 2*tq)      // per-block clipped windows
+		for q0 := lo; q0 < hi; q0 += tq {
+			q1 := q0 + tq
+			if q1 > hi {
+				q1 = hi
+			}
+			bq := q1 - q0
+			qflat := queries.Data[q0*dim : q1*dim]
+
+			// Phase 1: tiled BF(Qtile, R), identical to tileFrontHalf.
+			qnorms := e.ker.Norms(qflat, dim, sc.Float64(6, bq))
+			for r0 := 0; r0 < nr; r0 += tp {
+				r1 := r0 + tp
+				if r1 > nr {
+					r1 = nr
+				}
+				bp := r1 - r0
+				t := tile[:bq*bp]
+				e.ker.Tile(qflat, qnorms, e.repData.Data[r0*dim:r1*dim], nil, dim, t, ts)
+				for i := 0; i < bq; i++ {
+					copy(rows[i*nr+r0:i*nr+r1], t[i*bp:(i+1)*bp])
+				}
+			}
+			local.RepEvals += int64(bq * nr)
+
+			// Per-query pruning state and heap seeding (same math and same
+			// push order as the per-query back half).
+			heaps := sc.HeapSlab(bq, k)
+			for i := 0; i < bq; i++ {
+				ords := rows[i*nr : (i+1)*nr]
+				row := dists[i*nr : (i+1)*nr]
+				for j, o := range ords {
+					row[j] = e.ker.ToDistance(o)
+				}
+				gamma1, gammaK := kthSmallest(row, k, sc)
+				psiGamma := gammaK
+				if e.prm.ApproxEps > 0 {
+					psiGamma = gammaK / (1 + e.prm.ApproxEps)
+				}
+				bounds[2*i] = psiGamma
+				bounds[2*i+1] = 2*gammaK + gamma1
+				h := heaps[i]
+				for j := range ords {
+					h.Push(e.repIDs[j], ords[j])
+				}
+			}
+
+			// Phase 2, grouped: for each list, collect its takers and scan
+			// the union of their windows once through the tiled kernel.
+			for j := 0; j < nr; j++ {
+				listLo, listHi := e.offsets[j], e.offsets[j+1]
+				takers := 0
+				unionLo, unionHi := listHi, listLo
+				for i := 0; i < bq; i++ {
+					d := dists[i*nr+j]
+					psiGamma, tripleBound := bounds[2*i], bounds[2*i+1]
+					if e.prm.PrunePsi && d >= psiGamma+e.radii[j] {
+						local.PrunedPsi++
+						continue
+					}
+					if e.prm.PruneTriple && !math.IsInf(tripleBound, 1) && d > tripleBound {
+						local.PrunedTriple++
+						continue
+					}
+					local.RepsKept++
+					wlo, whi := listLo, listHi
+					if e.prm.EarlyExit {
+						w := psiGamma
+						wlo += sort.SearchFloat64s(e.dists[wlo:whi], d-w)
+						whi = listLo + sort.SearchFloat64s(e.dists[listLo:whi], math.Nextafter(d+w, math.Inf(1)))
+					}
+					if wlo >= whi {
+						continue
+					}
+					tIdx[takers] = i
+					tWin[2*takers] = wlo
+					tWin[2*takers+1] = whi
+					takers++
+					if wlo < unionLo {
+						unionLo = wlo
+					}
+					if whi > unionHi {
+						unionHi = whi
+					}
+				}
+				if takers == 0 {
+					continue
+				}
+				for blk := unionLo; blk < unionHi; blk += tp {
+					end := blk + tp
+					if end > unionHi {
+						end = unionHi
+					}
+					bp := end - blk
+					// Takers whose windows intersect this block, clipped.
+					inter := 0
+					sumLen := 0
+					for ti := 0; ti < takers; ti++ {
+						s0, s1 := tWin[2*ti], tWin[2*ti+1]
+						if s0 < blk {
+							s0 = blk
+						}
+						if s1 > end {
+							s1 = end
+						}
+						if s0 >= s1 {
+							continue
+						}
+						bIdx[inter] = tIdx[ti]
+						bWin[2*inter] = s0
+						bWin[2*inter+1] = s1
+						inter++
+						sumLen += s1 - s0
+					}
+					if inter == 0 {
+						continue
+					}
+					local.PointEvals += int64(sumLen)
+					if inter >= 2 && inter*bp <= tileWasteFactor*sumLen {
+						// Dense enough: one tile serves every taker.
+						buf := sc.Float32(0, inter*dim)
+						for t := 0; t < inter; t++ {
+							copy(buf[t*dim:(t+1)*dim], qflat[bIdx[t]*dim:(bIdx[t]+1)*dim])
+						}
+						t := tile[:inter*bp]
+						e.ker.Tile(buf, nil, e.gather[blk*dim:end*dim], nil, dim, t, ts)
+						for ti := 0; ti < inter; ti++ {
+							h := heaps[bIdx[ti]]
+							trow := t[ti*bp : (ti+1)*bp]
+							for p := bWin[2*ti]; p < bWin[2*ti+1]; p++ {
+								if id := int(e.ids[p]); !e.isRep[id] {
+									h.Push(id, trow[p-blk])
+								}
+							}
+						}
+					} else {
+						// Sparse: scan each taker's own slice, as the
+						// per-query path would.
+						for ti := 0; ti < inter; ti++ {
+							i := bIdx[ti]
+							s0, s1 := bWin[2*ti], bWin[2*ti+1]
+							out := tile[:s1-s0]
+							e.ker.Ordering(qflat[i*dim:(i+1)*dim], e.gather[s0*dim:s1*dim], dim, out)
+							h := heaps[i]
+							for p := s0; p < s1; p++ {
+								if id := int(e.ids[p]); !e.isRep[id] {
+									h.Push(id, out[p-s0])
+								}
+							}
+						}
+					}
+				}
+			}
+			for i := 0; i < bq; i++ {
+				sink(q0+i, heaps[i])
+			}
+		}
+		mu.Lock()
+		agg.Add(local)
+		mu.Unlock()
+	})
+	return agg
+}
+
+// batchGrouped runs the grouped two-phase batch search for OneShot: the
+// Gram BF(Q,R) front half selects each query's probe lists, queries are
+// then grouped by probed list, and each list is scanned once per tile
+// through the exact-mode tiled kernel (phase 2 distances are reported
+// answers and must stay bit-compatible with the reference — see the
+// OneShot type comment).
+func (o *OneShot) batchGrouped(queries *vec.Dataset, k int, sink func(i int, h *par.KHeap)) Stats {
+	nq := queries.N()
+	nr := o.NumReps()
+	dim := o.db.Dim
+	s := o.s
+	probes := o.prm.Probes
+	if probes > nr {
+		probes = nr
+	}
+	tq, tp := metric.TileShape(dim)
+	var agg Stats
+	var mu sync.Mutex
+	par.For(nq, 1, func(lo, hi int) {
+		sc := par.GetScratch()
+		defer par.PutScratch(sc)
+		ts := metric.GetTileScratch()
+		defer metric.PutTileScratch(ts)
+		var local Stats
+		rows := sc.Float64(3, tq*nr)
+		tile := sc.Float64(4, tq*tp)
+		probeIDs := sc.Ints(0, tq*probes)  // per-query probed lists
+		counts := sc.Ints(1, nr+1)         // takers per list (prefix form)
+		takerFlat := sc.Ints(2, tq*probes) // takers grouped by list
+		for q0 := lo; q0 < hi; q0 += tq {
+			q1 := q0 + tq
+			if q1 > hi {
+				q1 = hi
+			}
+			bq := q1 - q0
+			qflat := queries.Data[q0*dim : q1*dim]
+
+			// Phase 1: tiled Gram BF(Qtile, R) over the cached rep norms.
+			qnorms := o.ker.Norms(qflat, dim, sc.Float64(6, bq))
+			for r0 := 0; r0 < nr; r0 += tp {
+				r1 := r0 + tp
+				if r1 > nr {
+					r1 = nr
+				}
+				bp := r1 - r0
+				var pn []float64
+				if o.repNorms != nil {
+					pn = o.repNorms[r0:r1]
+				}
+				t := tile[:bq*bp]
+				o.ker.Tile(qflat, qnorms, o.repData.Data[r0*dim:r1*dim], pn, dim, t, ts)
+				for i := 0; i < bq; i++ {
+					copy(rows[i*nr+r0:i*nr+r1], t[i*bp:(i+1)*bp])
+				}
+			}
+			local.RepEvals += int64(bq * nr)
+
+			// Probe selection per query, then invert query→lists into
+			// list→takers with a counting sort so each list is visited once.
+			for j := 0; j <= nr; j++ {
+				counts[j] = 0
+			}
+			for i := 0; i < bq; i++ {
+				ph := sc.Heap(0, probes)
+				for j, d := range rows[i*nr : (i+1)*nr] {
+					ph.Push(j, d)
+				}
+				for p, probe := range ph.Kept() {
+					probeIDs[i*probes+p] = probe.ID
+					counts[probe.ID+1]++
+				}
+				local.RepsKept += int64(len(ph.Kept()))
+			}
+			for j := 0; j < nr; j++ {
+				counts[j+1] += counts[j]
+			}
+			for i := 0; i < bq; i++ {
+				for p := 0; p < probes; p++ {
+					j := probeIDs[i*probes+p]
+					takerFlat[counts[j]] = i
+					counts[j]++
+				}
+			}
+			// counts[j] now marks the end of list j's takers; the start is
+			// counts[j-1] (0 for j == 0).
+
+			heaps := sc.HeapSlab(bq, k)
+			// With multiple probes a point may appear on several of a
+			// query's scanned lists; dedupe so result sets stay distinct.
+			var seen []map[int32]struct{}
+			if probes > 1 {
+				seen = make([]map[int32]struct{}, bq)
+				for i := range seen {
+					seen[i] = make(map[int32]struct{}, probes*s)
+				}
+			}
+
+			// Phase 2, grouped: scan each probed list once for all its
+			// takers through the exact-mode tiled kernel.
+			start := 0
+			for j := 0; j < nr; j++ {
+				endT := counts[j]
+				takers := takerFlat[start:endT]
+				start = endT
+				if len(takers) == 0 {
+					continue
+				}
+				tflat := qflat
+				if len(takers) < bq {
+					buf := sc.Float32(0, len(takers)*dim)
+					for t, i := range takers {
+						copy(buf[t*dim:(t+1)*dim], qflat[i*dim:(i+1)*dim])
+					}
+					tflat = buf
+				}
+				listLo := j * s
+				for blk := listLo; blk < listLo+s; blk += tp {
+					end := blk + tp
+					if end > listLo+s {
+						end = listLo + s
+					}
+					bp := end - blk
+					t := tile[:len(takers)*bp]
+					o.xker.Tile(tflat, nil, o.gather[blk*dim:end*dim], nil, dim, t, ts)
+					for ti, i := range takers {
+						h := heaps[i]
+						trow := t[ti*bp : (ti+1)*bp]
+						for p := 0; p < bp; p++ {
+							id := o.ids[blk+p]
+							if seen != nil {
+								if _, dup := seen[i][id]; dup {
+									continue
+								}
+								seen[i][id] = struct{}{}
+							}
+							h.Push(int(id), trow[p])
+						}
+					}
+					local.PointEvals += int64(len(takers) * bp)
+				}
+			}
+			for i := 0; i < bq; i++ {
+				sink(q0+i, heaps[i])
+			}
+		}
+		mu.Lock()
+		agg.Add(local)
+		mu.Unlock()
+	})
+	return agg
+}

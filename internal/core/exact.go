@@ -372,9 +372,24 @@ func (e *Exact) SearchK(queries *vec.Dataset, k int) ([][]par.Neighbor, Stats) {
 	return out, agg
 }
 
-// batch runs the tiled BF(Q,R) front half and then the per-query back half
-// for every query, handing each query's candidate heap to sink.
+// KNNBatch is the batch-first k-NN entry point (search.BatchSearcher):
+// the whole query block shares one tiled BF(Q,R) front half before the
+// per-query back halves run. Results are bit-identical to calling KNN per
+// query.
+func (e *Exact) KNNBatch(queries *vec.Dataset, k int) ([][]par.Neighbor, Stats) {
+	return e.SearchK(queries, k)
+}
+
+// batch answers a query block. A pristine index takes the fully grouped
+// path (batch_grouped.go): tiled BF(Q,R) front half plus per-list tiled
+// phase-2 scans shared across the block. Once dynamic state exists
+// (tombstones, overflow lists) the block still shares the tiled front
+// half but runs the per-query back half, which knows how to consult that
+// state. Both paths are bit-identical to per-query KNN.
 func (e *Exact) batch(queries *vec.Dataset, k int, sink func(i int, h *par.KHeap)) Stats {
+	if e.mut == nil {
+		return e.batchGrouped(queries, k, sink)
+	}
 	return tileFrontHalf(e.ker, queries, e.repData, nil,
 		func(i int, row []float64, sc *par.Scratch, _ *metric.TileScratch) Stats {
 			h, st := e.one(queries.Row(i), k, row, sc)
@@ -388,13 +403,38 @@ func (e *Exact) batch(queries *vec.Dataset, k int, sink func(i int, h *par.KHeap
 // eps of q only if ρ(q,r) ≤ eps + ψ_r, and within a surviving list only
 // points with ρ(x,r) ∈ [ρ(q,r)−eps, ρ(q,r)+eps] can qualify.
 func (e *Exact) Range(q []float32, eps float64) ([]par.Neighbor, Stats) {
+	sc := par.GetScratch()
+	defer par.PutScratch(sc)
+	return e.rangeOne(q, eps, nil, sc)
+}
+
+// RangeBatch answers a block of range queries in parallel, sharing one
+// tiled BF(Q,R) front half across the block like KNNBatch does. Results
+// are bit-identical to calling Range per query.
+func (e *Exact) RangeBatch(queries *vec.Dataset, eps float64) ([][]par.Neighbor, Stats) {
+	e.checkDim(queries.Dim)
+	out := make([][]par.Neighbor, queries.N())
+	agg := tileFrontHalf(e.ker, queries, e.repData, nil,
+		func(i int, row []float64, sc *par.Scratch, _ *metric.TileScratch) Stats {
+			hits, st := e.rangeOne(queries.Row(i), eps, row, sc)
+			out[i] = hits
+			return st
+		})
+	return out, agg
+}
+
+// rangeOne runs the two-phase range search. ordRow optionally carries
+// precomputed phase-1 ordering distances (the batched BF(Q,R) front
+// half); nil computes them here.
+func (e *Exact) rangeOne(q []float32, eps float64, ordRow []float64, sc *par.Scratch) ([]par.Neighbor, Stats) {
 	nr := e.NumReps()
 	dim := e.db.Dim
 	st := Stats{RepEvals: int64(nr)}
-	sc := par.GetScratch()
-	defer par.PutScratch(sc)
-	ords := sc.Float64(0, nr)
-	e.ker.Ordering(q, e.repData.Data, dim, ords)
+	ords := ordRow
+	if ords == nil {
+		ords = sc.Float64(0, nr)
+		e.ker.Ordering(q, e.repData.Data, dim, ords)
+	}
 	// Ordering-space prefilter bound for eps; survivors are confirmed in
 	// distance space, and OrderingBound guarantees the boundary stays exact.
 	epsHi := e.ker.OrderingBound(math.Abs(eps))

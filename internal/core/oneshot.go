@@ -59,10 +59,11 @@ func (p OneShotParams) withDefaults(n int) OneShotParams {
 // runs on the exact ordering kernel, bit-compatible with the brute-force
 // reference. Both phases defer the sqrt to the API boundary.
 type OneShot struct {
-	db  *vec.Dataset
-	m   metric.Metric[[]float32]
-	ker *metric.Kernel
-	prm OneShotParams
+	db   *vec.Dataset
+	m    metric.Metric[[]float32]
+	ker  *metric.Kernel // fast kernel: probe selection (Gram for Euclidean)
+	xker *metric.Kernel // exact kernel: grouped list scans (reported answers)
+	prm  OneShotParams
 
 	repIDs   []int
 	repData  *vec.Dataset
@@ -81,6 +82,7 @@ type OneShot struct {
 // norms; called at build and load time.
 func (o *OneShot) initKernel() {
 	o.ker = metric.NewFastKernel(o.m)
+	o.xker = metric.NewKernel(o.m)
 	o.repNorms = o.ker.Norms(o.repData.Data, o.repData.Dim, nil)
 }
 
@@ -269,15 +271,19 @@ func (o *OneShot) SearchK(queries *vec.Dataset, k int) ([][]par.Neighbor, Stats)
 	return out, agg
 }
 
-// batch runs the tiled BF(Q,R) front half and the per-query list scans,
-// handing each query's candidate heap to sink.
+// KNNBatch is the batch-first k-NN entry point (search.BatchSearcher):
+// the whole query block shares one tiled Gram BF(Q,R) front half over the
+// cached representative norms before the per-query list scans run.
+func (o *OneShot) KNNBatch(queries *vec.Dataset, k int) ([][]par.Neighbor, Stats) {
+	return o.SearchK(queries, k)
+}
+
+// batch answers a query block through the fully grouped path
+// (batch_grouped.go): the tiled Gram BF(Q,R) front half selects probes
+// for the whole block, and each probed list is scanned once per query
+// tile through the exact-mode tiled kernel.
 func (o *OneShot) batch(queries *vec.Dataset, k int, sink func(i int, h *par.KHeap)) Stats {
-	return tileFrontHalf(o.ker, queries, o.repData, o.repNorms,
-		func(i int, row []float64, sc *par.Scratch, _ *metric.TileScratch) Stats {
-			h, st := o.knn(queries.Row(i), k, row, sc)
-			sink(i, h)
-			return st
-		})
+	return o.batchGrouped(queries, k, sink)
 }
 
 // Certify reports whether the one-shot answer for q is guaranteed exact:

@@ -240,6 +240,19 @@ func (t *Tree[P]) KNN(q P, k int) []par.Neighbor {
 	return h.Results()
 }
 
+// KNNBatch answers a block of k-NN queries. The descent is a deep,
+// conditional recursion (the structure §3 argues is hard to parallelize)
+// and DistEvals is a plain counter, so the batch runs sequentially — the
+// method exists to satisfy the batch query plane's interface, not to win
+// throughput.
+func (t *Tree[P]) KNNBatch(queries []P, k int) [][]par.Neighbor {
+	out := make([][]par.Neighbor, len(queries))
+	for i, q := range queries {
+		out[i] = t.KNN(q, k)
+	}
+	return out
+}
+
 func (t *Tree[P]) hasChildrenBelow(n *node[P], level int) bool {
 	for _, c := range n.children {
 		if c.level <= level {

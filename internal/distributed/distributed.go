@@ -7,6 +7,12 @@
 // surviving representative — in contrast to a brute-force cluster, which
 // must broadcast every query to every shard.
 //
+// The query plane is batch-first: QueryBatch and KNNBatch take whole
+// query blocks, group the surviving (query, list) pairs by owning shard,
+// and send ONE request per shard per block — so a 64-query block that
+// routes to 8 shards costs 16 messages instead of up to 1024. Query is
+// the single-query special case of the same path.
+//
 // Shards run as goroutines connected by channels (real concurrency), and
 // a cost model accounts for messages, bytes and simulated latency so the
 // experiments can report communication costs, as §8 calls for.
@@ -20,6 +26,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metric"
+	"repro/internal/par"
 	"repro/internal/vec"
 )
 
@@ -39,9 +46,12 @@ func DefaultCostModel() CostModel {
 	return CostModel{LatencyUS: 25, BandwidthMBps: 1000, EvalNS: 5}
 }
 
-// QueryMetrics records the cost of answering one query.
+// QueryMetrics records the cost of answering one query (or one batch —
+// the counters simply accumulate).
 type QueryMetrics struct {
-	// ShardsContacted is how many shards received the query.
+	// ShardsContacted is how many shard requests were sent. Batched
+	// fan-out sends at most one request per shard per block, so this is
+	// the message-amortization win.
 	ShardsContacted int
 	// Messages counts request + response messages.
 	Messages int
@@ -73,36 +83,73 @@ type shard struct {
 	repIDs  []int32   // global database ids of owned representatives
 	offsets []int     // per-owned-rep segment offsets into ids/gather
 	ids     []int32   // member database ids (gathered layout)
+	isRep   []bool    // position → member is itself a representative
 	gather  []float32 // member vectors
 }
 
+// shardRequest carries one block of queries: qs holds len(segs) packed
+// query vectors, segs lists the owned-representative segments each query
+// must scan, and k selects 1-NN (best) or k-NN (knn) replies.
 type shardRequest struct {
-	q     []float32
-	segs  []int // which owned representative segments to scan
+	qs    []float32
+	segs  [][]int
+	k     int
 	reply chan shardReply
 }
 
 type shardReply struct {
-	best  core.Result
+	sid   int
+	best  []core.Result    // per query, when k == 1
+	knn   [][]par.Neighbor // per query, when k > 1
 	evals int64
 }
 
 func (s *shard) serve() {
 	for req := range s.reqs {
-		best := core.Result{ID: -1, Dist: math.Inf(1)}
-		var evals int64
-		for _, seg := range req.segs {
-			lo, hi := s.offsets[seg], s.offsets[seg+1]
-			for p := lo; p < hi; p++ {
-				d := s.m.Distance(req.q, s.gather[p*s.dim:(p+1)*s.dim])
-				evals++
-				id := int(s.ids[p])
-				if d < best.Dist || (d == best.Dist && id < best.ID) {
-					best = core.Result{ID: id, Dist: d}
+		nq := len(req.segs)
+		rep := shardReply{sid: s.id}
+		if req.k == 1 {
+			rep.best = make([]core.Result, nq)
+		} else {
+			rep.knn = make([][]par.Neighbor, nq)
+		}
+		for qi := 0; qi < nq; qi++ {
+			q := req.qs[qi*s.dim : (qi+1)*s.dim]
+			if req.k == 1 {
+				best := core.Result{ID: -1, Dist: math.Inf(1)}
+				for _, seg := range req.segs[qi] {
+					lo, hi := s.offsets[seg], s.offsets[seg+1]
+					for p := lo; p < hi; p++ {
+						d := s.m.Distance(q, s.gather[p*s.dim:(p+1)*s.dim])
+						rep.evals++
+						id := int(s.ids[p])
+						if d < best.Dist || (d == best.Dist && id < best.ID) {
+							best = core.Result{ID: id, Dist: d}
+						}
+					}
+				}
+				rep.best[qi] = best
+				continue
+			}
+			// k-NN: representatives are excluded here because the
+			// coordinator seeds every representative as a candidate (their
+			// distances are already paid for in phase 1); scanning them
+			// again would duplicate ids in the merged result set.
+			h := par.NewKHeap(req.k)
+			for _, seg := range req.segs[qi] {
+				lo, hi := s.offsets[seg], s.offsets[seg+1]
+				for p := lo; p < hi; p++ {
+					if s.isRep[p] {
+						continue
+					}
+					d := s.m.Distance(q, s.gather[p*s.dim:(p+1)*s.dim])
+					rep.evals++
+					h.Push(int(s.ids[p]), d)
 				}
 			}
+			rep.knn[qi] = h.Results()
 		}
-		req.reply <- shardReply{best: best, evals: evals}
+		req.reply <- rep
 	}
 }
 
@@ -145,6 +192,10 @@ func Build(db *vec.Dataset, m metric.Metric[[]float32], prm core.ExactParams, sh
 		repShard: make([]int32, nr),
 		repSeg:   make([]int32, nr),
 	}
+	isRepID := make(map[int32]bool, nr)
+	for _, id := range c.repIDs {
+		isRepID[int32(id)] = true
+	}
 	// Longest-processing-time assignment: sort reps by list size
 	// descending, place each on the currently lightest shard.
 	sizes := idx.ListSizes()
@@ -178,6 +229,7 @@ func Build(db *vec.Dataset, m metric.Metric[[]float32], prm core.ExactParams, sh
 			sh.repIDs = append(sh.repIDs, int32(c.repIDs[rep]))
 			for _, id := range members[rep] {
 				sh.ids = append(sh.ids, id)
+				sh.isRep = append(sh.isRep, isRepID[id])
 				sh.gather = append(sh.gather, db.Row(int(id))...)
 			}
 			sh.offsets = append(sh.offsets, len(sh.ids))
@@ -222,38 +274,128 @@ func (c *Cluster) ShardLoads() []int {
 const float32Bytes = 4
 const resultBytes = 16 // id + distance + framing
 
+// shardBatch accumulates one shard's slice of a query block: which
+// global queries it serves and, per query, which segments to scan.
+type shardBatch struct {
+	qidx []int
+	segs [][]int
+}
+
+// add appends segment seg of query qi (queries arrive in ascending
+// order, so the last entry check suffices).
+func (sb *shardBatch) add(qi, seg int) {
+	if n := len(sb.qidx); n == 0 || sb.qidx[n-1] != qi {
+		sb.qidx = append(sb.qidx, qi)
+		sb.segs = append(sb.segs, nil)
+	}
+	sb.segs[len(sb.segs)-1] = append(sb.segs[len(sb.segs)-1], seg)
+}
+
 // Query answers one query with RBC routing: the coordinator prunes
 // representatives exactly as the single-machine exact search does, then
-// contacts only the shards owning survivors.
+// contacts only the shards owning survivors. It is QueryBatch on a
+// one-query block.
 func (c *Cluster) Query(q []float32) (core.Result, QueryMetrics) {
-	nr := c.repData.N()
-	repDists := make([]float64, nr)
-	metric.BatchDistances(c.m, q, c.repData.Data, c.dim, repDists)
+	res, met := c.QueryBatch(vec.FromFlat(q, len(q)))
+	return res[0], met
+}
+
+// QueryBatch answers a block of 1-NN queries with batched shard fan-out.
+// It is KNNBatch at k = 1, where the pruning bounds degenerate to the
+// paper's exact-search rules (γ_k = γ_1, 2γ_k + γ_1 = 3γ).
+func (c *Cluster) QueryBatch(queries *vec.Dataset) ([]core.Result, QueryMetrics) {
+	nbs, met := c.KNNBatch(queries, 1)
+	out := make([]core.Result, len(nbs))
+	for i, nb := range nbs {
+		if len(nb) == 0 {
+			out[i] = core.Result{ID: -1, Dist: math.Inf(1)}
+			continue
+		}
+		out[i] = core.Result{ID: nb[0].ID, Dist: nb[0].Dist}
+	}
+	return out, met
+}
+
+// KNNBatch answers a block of k-NN queries with batched shard fan-out.
+// The pruning generalizes the exact-search bounds to k neighbors exactly
+// as the single-machine index does (see Exact.one): with γ_k the k-th
+// smallest representative distance, rule (1) discards representatives
+// with ρ(q,r) ≥ γ_k + ψ_r and rule (2) those with ρ(q,r) > 2γ_k + γ_1.
+// Every representative is seeded as a candidate (they are database
+// points whose distances are already paid for), which keeps the result
+// multiset exact at pruning-boundary ties; shards skip representatives
+// during their scans in exchange.
+func (c *Cluster) KNNBatch(queries *vec.Dataset, k int) ([][]par.Neighbor, QueryMetrics) {
+	nq := queries.N()
+	out := make([][]par.Neighbor, nq)
 	var met QueryMetrics
-	met.Evals = int64(nr)
-
-	gamma := math.Inf(1)
-	bestRep := -1
-	for j, d := range repDists {
-		if d < gamma {
-			gamma, bestRep = d, j
+	if nq == 0 || k <= 0 {
+		return out, met
+	}
+	nr := c.repData.N()
+	met.Evals = int64(nq) * int64(nr)
+	heaps := make([]*par.KHeap, nq)
+	survivors := make([][]int32, nq)
+	par.For(nq, 8, func(lo, hi int) {
+		dists := make([]float64, nr)
+		kk := k
+		if kk > nr {
+			kk = nr
+		}
+		for i := lo; i < hi; i++ {
+			metric.BatchDistances(c.m, queries.Row(i), c.repData.Data, c.dim, dists)
+			sel := par.NewKHeap(kk)
+			for j, d := range dists {
+				sel.Push(j, d)
+			}
+			best, _ := sel.Best()
+			gamma1 := best.Dist
+			gammaK := math.Inf(1)
+			if w, full := sel.Worst(); full && k <= nr {
+				gammaK = w
+			}
+			tripleBound := 2*gammaK + gamma1
+			h := par.NewKHeap(k)
+			for j, d := range dists {
+				h.Push(c.repIDs[j], d)
+			}
+			heaps[i] = h
+			var surv []int32
+			for j := 0; j < nr; j++ {
+				if dists[j] >= gammaK+c.radii[j] {
+					continue
+				}
+				if !math.IsInf(tripleBound, 1) && dists[j] > tripleBound {
+					continue
+				}
+				surv = append(surv, int32(j))
+			}
+			survivors[i] = surv
+		}
+	})
+	batches := make([]shardBatch, len(c.shards))
+	for i := 0; i < nq; i++ {
+		for _, j := range survivors[i] {
+			batches[c.repShard[j]].add(i, int(c.repSeg[j]))
 		}
 	}
-	best := core.Result{ID: c.repIDs[bestRep], Dist: gamma}
-
-	// Exact pruning (both bounds) → shard → surviving segments.
-	segsByShard := make(map[int32][]int)
-	for j := 0; j < nr; j++ {
-		if repDists[j] >= gamma+c.radii[j] {
-			continue
+	c.finish(queries, k, batches, &met, func(rp shardReply, qidx []int) {
+		for t, qi := range qidx {
+			if rp.best != nil { // k == 1 takes the shards' lean reply form
+				if b := rp.best[t]; b.ID >= 0 {
+					heaps[qi].Push(b.ID, b.Dist)
+				}
+				continue
+			}
+			for _, nb := range rp.knn[t] {
+				heaps[qi].Push(nb.ID, nb.Dist)
+			}
 		}
-		if repDists[j] > 3*gamma {
-			continue
-		}
-		sid := c.repShard[j]
-		segsByShard[sid] = append(segsByShard[sid], int(c.repSeg[j]))
+	})
+	for i := range heaps {
+		out[i] = heaps[i].Results()
 	}
-	return c.finish(q, best, segsByShard, met)
+	return out, met
 }
 
 // QueryBroadcast answers one query the brute-force way: every shard scans
@@ -261,45 +403,61 @@ func (c *Cluster) Query(q []float32) (core.Result, QueryMetrics) {
 func (c *Cluster) QueryBroadcast(q []float32) (core.Result, QueryMetrics) {
 	var met QueryMetrics
 	best := core.Result{ID: -1, Dist: math.Inf(1)}
-	segsByShard := make(map[int32][]int)
+	batches := make([]shardBatch, len(c.shards))
 	for sid, sh := range c.shards {
-		all := make([]int, len(sh.offsets)-1)
-		for i := range all {
-			all[i] = i
+		for seg := 0; seg < len(sh.offsets)-1; seg++ {
+			batches[sid].add(0, seg)
 		}
-		segsByShard[int32(sid)] = all
 	}
-	return c.finish(q, best, segsByShard, met)
+	queries := vec.FromFlat(q, len(q))
+	c.finish(queries, 1, batches, &met, func(rp shardReply, qidx []int) {
+		b := rp.best[0]
+		if b.ID >= 0 && (b.Dist < best.Dist || (b.Dist == best.Dist && b.ID < best.ID)) {
+			best = b
+		}
+	})
+	return best, met
 }
 
-// finish fans the query out to the selected shards, merges answers and
-// fills in the cost model.
-func (c *Cluster) finish(q []float32, best core.Result, segsByShard map[int32][]int, met QueryMetrics) (core.Result, QueryMetrics) {
-	reply := make(chan shardReply, len(segsByShard))
-	queryBytes := len(q)*float32Bytes + 16
-	var slowest float64
-	for sid, segs := range segsByShard {
-		c.shards[sid].reqs <- shardRequest{q: q, segs: segs, reply: reply}
+// finish fans a query block out to the shards with work, merges answers
+// through sink and fills in the cost model. Per contacted shard it
+// accounts one request and one response message, the packed query
+// vectors out and k results per query back.
+func (c *Cluster) finish(queries *vec.Dataset, k int, batches []shardBatch, met *QueryMetrics, sink func(rp shardReply, qidx []int)) {
+	reply := make(chan shardReply, len(batches))
+	queryBytes := c.dim*float32Bytes + 16
+	contacted := 0
+	shardBytes := make([]int, len(batches))
+	for sid := range batches {
+		sb := &batches[sid]
+		if len(sb.qidx) == 0 {
+			continue
+		}
+		qs := make([]float32, len(sb.qidx)*c.dim)
+		for t, qi := range sb.qidx {
+			copy(qs[t*c.dim:(t+1)*c.dim], queries.Row(qi))
+		}
+		c.shards[sid].reqs <- shardRequest{qs: qs, segs: sb.segs, k: k, reply: reply}
+		contacted++
+		shardBytes[sid] = len(sb.qidx) * (queryBytes + k*resultBytes)
 		met.ShardsContacted++
 		met.Messages += 2 // request + response
-		met.Bytes += queryBytes + resultBytes
+		met.Bytes += shardBytes[sid]
 	}
-	for i := 0; i < met.ShardsContacted; i++ {
-		r := <-reply
-		met.Evals += r.evals
-		if r.best.ID >= 0 && (r.best.Dist < best.Dist || (r.best.Dist == best.Dist && r.best.ID < best.ID)) {
-			best = r.best
-		}
+	var slowest float64
+	for r := 0; r < contacted; r++ {
+		rp := <-reply
+		met.Evals += rp.evals
+		sink(rp, batches[rp.sid].qidx)
 		// Per-shard critical path: request latency + transfer + scan +
 		// response latency. The slowest contacted shard dominates.
-		transferUS := float64(queryBytes+resultBytes) / (c.cost.BandwidthMBps * 1e6) * 1e6
-		scanUS := float64(r.evals) * c.cost.EvalNS / 1000
+		transferUS := float64(shardBytes[rp.sid]) / (c.cost.BandwidthMBps * 1e6) * 1e6
+		scanUS := float64(rp.evals) * c.cost.EvalNS / 1000
 		if t := 2*c.cost.LatencyUS + transferUS + scanUS; t > slowest {
 			slowest = t
 		}
 	}
-	met.SimTimeUS = slowest
-	return best, met
+	met.SimTimeUS += slowest
 }
 
 // Close shuts down the shard goroutines. The cluster is unusable after.

@@ -1,6 +1,7 @@
 package distributed
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -196,6 +197,97 @@ func TestSingleShardDegeneratesToExact(t *testing.T) {
 	}
 	if met.ShardsContacted > 1 {
 		t.Fatalf("single shard contacted %d times", met.ShardsContacted)
+	}
+}
+
+// A query block through QueryBatch must return exactly what per-query
+// Query returns, while contacting each shard at most once.
+func TestQueryBatchMatchesPerQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	db := clustered(rng, 2000, 5, 10)
+	m := metric.Euclidean{}
+	const shards = 6
+	cl, err := Build(db, m, core.ExactParams{Seed: 23}, shards, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	queries := clustered(rand.New(rand.NewSource(29)), 64, 5, 10)
+	batch, bm := cl.QueryBatch(queries)
+	var perQuery QueryMetrics
+	for i := 0; i < queries.N(); i++ {
+		one, om := cl.Query(queries.Row(i))
+		if batch[i] != one {
+			t.Fatalf("query %d: batch %+v, per-query %+v", i, batch[i], one)
+		}
+		perQuery.Add(om)
+	}
+	if bm.ShardsContacted > shards {
+		t.Fatalf("batch contacted %d shard requests for %d shards", bm.ShardsContacted, shards)
+	}
+	if bm.Messages >= perQuery.Messages {
+		t.Fatalf("batch fan-out sent %d messages, per-query %d — no amortization", bm.Messages, perQuery.Messages)
+	}
+	if bm.Evals != perQuery.Evals {
+		t.Fatalf("batch evals %d, per-query %d", bm.Evals, perQuery.Evals)
+	}
+}
+
+// KNNBatch must be exact: every query's k results equal the single-machine
+// brute-force reference (ids and distances, ties toward lower id).
+func TestKNNBatchIsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	db := clustered(rng, 1500, 4, 8)
+	m := metric.Euclidean{}
+	cl, err := Build(db, m, core.ExactParams{Seed: 37}, 5, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	queries := clustered(rand.New(rand.NewSource(41)), 40, 4, 8)
+	for _, k := range []int{1, 3, 7} {
+		got, met := cl.KNNBatch(queries, k)
+		if met.ShardsContacted > cl.NumShards() {
+			t.Fatalf("k=%d: %d shard requests", k, met.ShardsContacted)
+		}
+		for i := 0; i < queries.N(); i++ {
+			want := bruteforce.SearchOneK(queries.Row(i), db, k, m, nil)
+			if len(got[i]) != len(want) {
+				t.Fatalf("k=%d query %d: %d results, want %d", k, i, len(got[i]), len(want))
+			}
+			for p := range want {
+				if got[i][p].ID != want[p].ID || math.Abs(got[i][p].Dist-want[p].Dist) > 1e-12 {
+					t.Fatalf("k=%d query %d pos %d: %+v want %+v", k, i, p, got[i][p], want[p])
+				}
+			}
+		}
+	}
+}
+
+// Duplicate points that are both representatives must not produce
+// duplicate ids in k-NN results (the shard-side representative skip).
+func TestKNNBatchNoDuplicateIDs(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	db := clustered(rng, 600, 3, 4)
+	// Plant exact duplicates.
+	for i := 0; i < 20; i++ {
+		copy(db.Row(i+100), db.Row(i))
+	}
+	cl, err := Build(db, metric.Euclidean{}, core.ExactParams{Seed: 47}, 3, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	queries := clustered(rand.New(rand.NewSource(53)), 30, 3, 4)
+	got, _ := cl.KNNBatch(queries, 6)
+	for i, nbs := range got {
+		seen := map[int]bool{}
+		for _, nb := range nbs {
+			if seen[nb.ID] {
+				t.Fatalf("query %d: duplicate id %d in %v", i, nb.ID, nbs)
+			}
+			seen[nb.ID] = true
+		}
 	}
 }
 

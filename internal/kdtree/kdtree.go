@@ -8,6 +8,7 @@ package kdtree
 import (
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/par"
 	"repro/internal/vec"
@@ -126,19 +127,44 @@ func (t *Tree) NN(q []float32) (int, float64) {
 
 // KNN returns the k nearest database points sorted by ascending distance.
 func (t *Tree) KNN(q []float32, k int) []par.Neighbor {
-	if t.root < 0 || k <= 0 {
-		return nil
-	}
-	h := par.NewKHeap(k)
-	t.search(t.root, q, h)
-	return h.Results()
+	res, evals := t.knn(q, k)
+	t.DistEvals += evals
+	return res
 }
 
-func (t *Tree) search(ni int32, q []float32, h *par.KHeap) {
+// knn is the counter-free descent: it returns the evaluations performed
+// instead of bumping DistEvals, so batch callers can run queries in
+// parallel and fold the counts in afterwards.
+func (t *Tree) knn(q []float32, k int) ([]par.Neighbor, int64) {
+	if t.root < 0 || k <= 0 {
+		return nil, 0
+	}
+	h := par.NewKHeap(k)
+	var evals int64
+	t.search(t.root, q, h, &evals)
+	return h.Results(), evals
+}
+
+// KNNBatch answers a block of k-NN queries in parallel (queries are
+// independent descents), returning per-query results and the total number
+// of distance evaluations. DistEvals is bumped once by the total.
+func (t *Tree) KNNBatch(queries *vec.Dataset, k int) ([][]par.Neighbor, int64) {
+	out := make([][]par.Neighbor, queries.N())
+	var total atomic.Int64
+	par.ForEach(queries.N(), 1, func(i int) {
+		res, evals := t.knn(queries.Row(i), k)
+		out[i] = res
+		total.Add(evals)
+	})
+	t.DistEvals += total.Load()
+	return out, total.Load()
+}
+
+func (t *Tree) search(ni int32, q []float32, h *par.KHeap, evals *int64) {
 	nd := &t.nodes[ni]
 	if nd.axis < 0 {
 		for _, id := range t.order[nd.lo:nd.hi] {
-			h.Push(int(id), t.pointDist(q, int(id)))
+			h.Push(int(id), t.pointDist(q, int(id), evals))
 		}
 		return
 	}
@@ -147,17 +173,17 @@ func (t *Tree) search(ni int32, q []float32, h *par.KHeap) {
 	if diff > 0 {
 		near, far = nd.right, nd.left
 	}
-	t.search(near, q, h)
+	t.search(near, q, h, evals)
 	// Visit the far side only if the splitting plane is closer than the
 	// current k-th distance (or the heap is not yet full).
 	worst, full := h.Worst()
 	if !full || math.Abs(diff) <= worst {
-		t.search(far, q, h)
+		t.search(far, q, h, evals)
 	}
 }
 
-func (t *Tree) pointDist(q []float32, id int) float64 {
-	t.DistEvals++
+func (t *Tree) pointDist(q []float32, id int, evals *int64) float64 {
+	*evals++
 	row := t.db.Row(id)
 	var s float64
 	for j := range q {
@@ -178,7 +204,7 @@ func (t *Tree) Range(q []float32, eps float64) []par.Neighbor {
 		nd := &t.nodes[ni]
 		if nd.axis < 0 {
 			for _, id := range t.order[nd.lo:nd.hi] {
-				if d := t.pointDist(q, int(id)); d <= eps {
+				if d := t.pointDist(q, int(id), &t.DistEvals); d <= eps {
 					hits = append(hits, par.Neighbor{ID: int(id), Dist: d})
 				}
 			}

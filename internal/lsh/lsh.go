@@ -211,6 +211,22 @@ func (idx *Index) KNN(q []float32, k int) ([]par.Neighbor, int) {
 	return h.Results(), evals
 }
 
+// SearchK answers a batch of k-NN queries in parallel (table probes are
+// read-only after Build, so queries are independent), returning per-query
+// candidates and the total number of distance evaluations.
+func (idx *Index) SearchK(queries *vec.Dataset, k int) ([][]par.Neighbor, int64) {
+	out := make([][]par.Neighbor, queries.N())
+	evals := make([]int, queries.N())
+	par.ForEach(queries.N(), 1, func(i int) {
+		out[i], evals[i] = idx.KNN(queries.Row(i), k)
+	})
+	var total int64
+	for _, e := range evals {
+		total += int64(e)
+	}
+	return out, total
+}
+
 // Search answers a batch of 1-NN queries in parallel, returning results
 // and total distance evaluations.
 func (idx *Index) Search(queries *vec.Dataset) ([]Result, int64) {

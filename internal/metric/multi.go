@@ -259,7 +259,11 @@ func (k *Kernel) Tile(qflat []float32, qn []float64, pflat []float32, pn []float
 		widen(pflat, ts.wp)
 		euclidGramTile(ts.wq, qn, ts.wp, pn, dim, nq, np, out)
 	case k.euclid:
-		if nq < 4 {
+		// The diff tile is bit-identical to the row path for any shape, so
+		// the cutover is purely a performance choice: even two rows amortize
+		// the one-time float64 widening of the point block (the row path
+		// re-converts both operands for every pair).
+		if nq < 2 {
 			e := Euclidean{}
 			for i := 0; i < nq; i++ {
 				e.OrderingDistances(qflat[i*dim:(i+1)*dim], pflat, dim, out[i*np:(i+1)*np])

@@ -15,7 +15,8 @@ import "sync"
 // block), 3–4 and 6 to the batched front half (rows, tile, query norms).
 type Scratch struct {
 	f64   [8][]float64
-	ints  [2][]int
+	f32   [2][]float32
+	ints  [4][]int
 	heaps [2]*KHeap
 	slab  []*KHeap
 }
@@ -37,6 +38,16 @@ func (s *Scratch) Float64(slot, n int) []float64 {
 	}
 	s.f64[slot] = s.f64[slot][:n]
 	return s.f64[slot]
+}
+
+// Float32 returns a length-n float32 buffer for slot. Contents are
+// unspecified.
+func (s *Scratch) Float32(slot, n int) []float32 {
+	if cap(s.f32[slot]) < n {
+		s.f32[slot] = make([]float32, n)
+	}
+	s.f32[slot] = s.f32[slot][:n]
+	return s.f32[slot]
 }
 
 // Ints returns a length-n int buffer for slot. Contents are unspecified.

@@ -1,0 +1,218 @@
+// Package search defines the batch-first query plane shared by every
+// index backend in the repository. Cayton's core argument is that metric
+// search becomes hardware-friendly when many queries are processed
+// together as matrix-style workloads (BF(Q,X) rather than n calls to
+// BF(q,X)); this package makes that shape the common currency above
+// internal/core, so the HTTP server, the distributed cluster and the
+// experiment harness can all hand whole query blocks to an index and let
+// it ride its tiled kernels.
+//
+// Two interface tiers exist:
+//
+//   - Searcher is the single-query surface every backend has.
+//   - BatchSearcher adds KNNBatch, the block entry point. Backends with a
+//     real matrix-matrix front half (core.Exact, core.OneShot, the
+//     brute-force primitive) implement it natively; tree-shaped backends
+//     (kd-tree, LSH) parallelize over queries; the cover tree, whose
+//     descent is inherently serial, loops.
+//
+// KNNBatch (the function) is the polymorphic entry point: it uses the
+// batch method when the backend provides one and falls back to a
+// per-query loop otherwise, so callers can stay batch-first without
+// caring which backend they hold.
+package search
+
+import (
+	"repro/internal/bruteforce"
+	"repro/internal/core"
+	"repro/internal/covertree"
+	"repro/internal/kdtree"
+	"repro/internal/lsh"
+	"repro/internal/metric"
+	"repro/internal/par"
+	"repro/internal/vec"
+)
+
+// Neighbor is a k-NN result entry: database id and distance.
+type Neighbor = par.Neighbor
+
+// Stats reports per-search work (distance evaluations by phase); see
+// core.Stats. Backends without a two-phase structure report all work
+// under PointEvals.
+type Stats = core.Stats
+
+// Searcher answers single k-NN queries. Results are sorted by ascending
+// distance, ties toward the lower id (backends that cannot guarantee
+// exactness — one-shot, LSH — still honor the ordering contract on
+// whatever candidates they return).
+type Searcher interface {
+	KNN(q []float32, k int) ([]Neighbor, Stats)
+}
+
+// BatchSearcher answers whole query blocks at once. KNNBatch(queries, k)
+// must be observably equivalent to calling KNN per row (for deterministic
+// backends: bit-identical), while being free to amortize work across the
+// block — one tiled BF(Q,R) front half, one pass over shared structures.
+type BatchSearcher interface {
+	Searcher
+	KNNBatch(queries *vec.Dataset, k int) ([][]Neighbor, Stats)
+}
+
+// RangeSearcher answers ε-range queries: every point within eps of the
+// query, sorted by ascending distance. RangeBatch is the block form, with
+// the same equivalence contract as KNNBatch.
+type RangeSearcher interface {
+	Range(q []float32, eps float64) ([]Neighbor, Stats)
+	RangeBatch(queries *vec.Dataset, eps float64) ([][]Neighbor, Stats)
+}
+
+// The RBC indexes implement the batch plane natively.
+var (
+	_ BatchSearcher = (*core.Exact)(nil)
+	_ BatchSearcher = (*core.OneShot)(nil)
+	_ RangeSearcher = (*core.Exact)(nil)
+)
+
+// KNNBatch answers a block of queries through s, using the batch entry
+// point when s provides one and falling back to a per-query loop.
+func KNNBatch(s Searcher, queries *vec.Dataset, k int) ([][]Neighbor, Stats) {
+	if b, ok := s.(BatchSearcher); ok {
+		return b.KNNBatch(queries, k)
+	}
+	out := make([][]Neighbor, queries.N())
+	var agg Stats
+	for i := 0; i < queries.N(); i++ {
+		nbs, st := s.KNN(queries.Row(i), k)
+		out[i] = nbs
+		agg.Add(st)
+	}
+	return out, agg
+}
+
+// BruteForce is the index-free backend: every query block is answered
+// with the tiled BF(Q,X) matrix-matrix primitive over the whole database.
+// It is the baseline the indexed backends are measured against.
+type BruteForce struct {
+	DB *vec.Dataset
+	M  Metric
+}
+
+// Metric is the float32 vector metric the backends share.
+type Metric = metric.Metric[[]float32]
+
+// NewBruteForce returns the brute-force backend over db.
+func NewBruteForce(db *vec.Dataset, m Metric) *BruteForce {
+	return &BruteForce{DB: db, M: m}
+}
+
+// KNN answers one query with the streaming BF(q,X) decomposition.
+func (b *BruteForce) KNN(q []float32, k int) ([]Neighbor, Stats) {
+	var c bruteforce.Counter
+	res := bruteforce.SearchOneK(q, b.DB, k, b.M, &c)
+	return res, Stats{PointEvals: c.Load()}
+}
+
+// KNNBatch answers the block with the tiled BF(Q,X) primitive
+// (bit-identical to per-query KNN; see bruteforce.SearchK).
+func (b *BruteForce) KNNBatch(queries *vec.Dataset, k int) ([][]Neighbor, Stats) {
+	var c bruteforce.Counter
+	res := bruteforce.SearchK(queries, b.DB, k, b.M, &c)
+	return res, Stats{PointEvals: c.Load()}
+}
+
+// Range scans the database for every point within eps of q.
+func (b *BruteForce) Range(q []float32, eps float64) ([]Neighbor, Stats) {
+	var c bruteforce.Counter
+	res := bruteforce.RangeSearch(q, b.DB, eps, b.M, &c)
+	return res, Stats{PointEvals: c.Load()}
+}
+
+// RangeBatch runs Range over the block in parallel.
+func (b *BruteForce) RangeBatch(queries *vec.Dataset, eps float64) ([][]Neighbor, Stats) {
+	out := make([][]Neighbor, queries.N())
+	var c bruteforce.Counter
+	par.ForEach(queries.N(), 1, func(i int) {
+		out[i] = bruteforce.RangeSearch(queries.Row(i), b.DB, eps, b.M, &c)
+	})
+	return out, Stats{PointEvals: c.Load()}
+}
+
+var (
+	_ BatchSearcher = (*BruteForce)(nil)
+	_ RangeSearcher = (*BruteForce)(nil)
+)
+
+// KDTree adapts the low-dimensional k-d tree baseline to the batch plane.
+// The tree reports raw evaluation counts rather than core.Stats, so the
+// adapter maps them onto PointEvals.
+type KDTree struct{ T *kdtree.Tree }
+
+// FromKDTree wraps t.
+func FromKDTree(t *kdtree.Tree) KDTree { return KDTree{T: t} }
+
+// KNN answers one query. Not safe for concurrent use with other KDTree
+// calls (the tree's DistEvals counter is unsynchronized); use KNNBatch
+// for parallel blocks.
+func (a KDTree) KNN(q []float32, k int) ([]Neighbor, Stats) {
+	before := a.T.DistEvals
+	res := a.T.KNN(q, k)
+	return res, Stats{PointEvals: a.T.DistEvals - before}
+}
+
+// KNNBatch answers the block in parallel over queries.
+func (a KDTree) KNNBatch(queries *vec.Dataset, k int) ([][]Neighbor, Stats) {
+	res, evals := a.T.KNNBatch(queries, k)
+	return res, Stats{PointEvals: evals}
+}
+
+var _ BatchSearcher = KDTree{}
+
+// LSH adapts the locality-sensitive-hashing backend. Its answers are
+// approximate by construction; the Stats map candidate evaluations onto
+// PointEvals.
+type LSH struct{ I *lsh.Index }
+
+// FromLSH wraps idx.
+func FromLSH(idx *lsh.Index) LSH { return LSH{I: idx} }
+
+// KNN answers one query from the union of probed buckets.
+func (a LSH) KNN(q []float32, k int) ([]Neighbor, Stats) {
+	res, evals := a.I.KNN(q, k)
+	return res, Stats{PointEvals: int64(evals)}
+}
+
+// KNNBatch answers the block in parallel over queries.
+func (a LSH) KNNBatch(queries *vec.Dataset, k int) ([][]Neighbor, Stats) {
+	res, evals := a.I.SearchK(queries, k)
+	return res, Stats{PointEvals: evals}
+}
+
+var _ BatchSearcher = LSH{}
+
+// CoverTree adapts the sequential cover-tree baseline. Not safe for
+// concurrent use: the tree's descent mutates its DistEvals counter, which
+// is also why KNNBatch loops instead of fanning out.
+type CoverTree struct{ T *covertree.Tree[[]float32] }
+
+// FromCoverTree wraps t.
+func FromCoverTree(t *covertree.Tree[[]float32]) CoverTree { return CoverTree{T: t} }
+
+// KNN answers one query.
+func (a CoverTree) KNN(q []float32, k int) ([]Neighbor, Stats) {
+	before := a.T.DistEvals
+	res := a.T.KNN(q, k)
+	return res, Stats{PointEvals: a.T.DistEvals - before}
+}
+
+// KNNBatch answers the block sequentially (see covertree.KNNBatch).
+func (a CoverTree) KNNBatch(queries *vec.Dataset, k int) ([][]Neighbor, Stats) {
+	before := a.T.DistEvals
+	rows := make([][]float32, queries.N())
+	for i := range rows {
+		rows[i] = queries.Row(i)
+	}
+	res := a.T.KNNBatch(rows, k)
+	return res, Stats{PointEvals: a.T.DistEvals - before}
+}
+
+var _ BatchSearcher = CoverTree{}

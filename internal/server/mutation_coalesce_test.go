@@ -1,0 +1,45 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+	"time"
+)
+
+// Coalesced queries must stay correct when the index carries dynamic
+// state (tombstones/overflow): the batch path falls back to the
+// per-query back half.
+func TestCoalescedQueryAfterMutation(t *testing.T) {
+	co, plain, db := newCoalescedServer(t, 400, 8, 200*time.Microsecond)
+	defer co.Close()
+	// Both servers wrap the same index; mutate it once through the
+	// coalesced server.
+	p := []float32{-40, -40, -40}
+	rec, _ := do(t, co, "POST", "/insert", queryRequest{Point: p})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("insert: %d", rec.Code)
+	}
+	rec, _ = do(t, co, "POST", "/delete", deleteRequest{ID: 3})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("delete: %d", rec.Code)
+	}
+	// The inserted point must be found, the deleted one not, and the
+	// coalesced answers must match the per-query server.
+	for i := 0; i < 10; i++ {
+		q := append([]float32(nil), db.Row(i)...)
+		_, got := postQuery(co, q, 3)
+		_, want := postQuery(plain, q, 3)
+		if len(got.Neighbors) != len(want.Neighbors) {
+			t.Fatalf("query %d: %d vs %d neighbors", i, len(got.Neighbors), len(want.Neighbors))
+		}
+		for p := range want.Neighbors {
+			if got.Neighbors[p] != want.Neighbors[p] {
+				t.Fatalf("query %d pos %d: %+v want %+v", i, p, got.Neighbors[p], want.Neighbors[p])
+			}
+		}
+	}
+	_, resp := postQuery(co, p, 1)
+	if resp.Neighbors[0].Dist != 0 {
+		t.Fatalf("inserted point not found: %+v", resp.Neighbors[0])
+	}
+}

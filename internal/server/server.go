@@ -3,10 +3,28 @@
 // mutations (insert/delete/rebuild, exact indexes only) serialize behind
 // a write lock, matching the index's concurrency contract.
 //
+// # Request coalescing
+//
+// The tiled kernels underneath the indexes want *blocks* of queries —
+// BF(Q,R) as a matrix-matrix product — but HTTP delivers queries one at
+// a time. With WithCoalescing enabled, concurrent /query requests park
+// briefly and are flushed as one KNNBatch call: a batch flushes when it
+// reaches MaxBatch queries or when MaxWait has elapsed since its first
+// query parked, whichever comes first. Responses are bit-identical to
+// the per-query path; the tradeoff is explicit and bounded — a lone
+// query pays at most MaxWait extra latency so that concurrent traffic
+// shares one tiled front half (and one lock acquisition) instead of n.
+// The per-response "evals" field reports an equal share of the batch's
+// aggregate work and "batch" reports the realized batch size; the
+// /stats endpoint exposes flush counters for tuning the two knobs.
+//
+// Request bodies are decoded and validated before any lock is taken, so
+// a slow client cannot stall writers.
+//
 // Endpoints:
 //
 //	GET  /healthz              liveness probe
-//	GET  /stats                index metadata and live-point count
+//	GET  /stats                index metadata, live-point count, coalescer counters
 //	POST /query                {"point":[…],"k":3}        → neighbors
 //	POST /range                {"point":[…],"eps":0.5}    → neighbors
 //	POST /insert               {"point":[…]}              → {"id":n}
@@ -19,9 +37,11 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/metric"
+	"repro/internal/par"
 	"repro/internal/vec"
 )
 
@@ -33,20 +53,52 @@ type Server struct {
 	exact   *core.Exact   // non-nil in exact mode
 	oneshot *core.OneShot // non-nil in one-shot mode
 	mux     *http.ServeMux
+	co      *coalescer // non-nil when query coalescing is enabled
+}
+
+// Option configures a Server at construction time.
+type Option func(*Server)
+
+// WithCoalescing parks concurrent /query requests and answers them in
+// batches of up to maxBatch queries, waiting at most maxWait for a batch
+// to fill (maxWait <= 0 selects 500µs). maxBatch <= 1 disables
+// coalescing. See the package comment for the latency/throughput
+// tradeoff.
+func WithCoalescing(maxBatch int, maxWait time.Duration) Option {
+	return func(s *Server) {
+		if maxBatch > 1 {
+			s.co = newCoalescer(maxBatch, maxWait, s.runBatch)
+		}
+	}
 }
 
 // NewExact builds a server around an exact index (mutations enabled).
-func NewExact(db *vec.Dataset, m metric.Metric[[]float32], idx *core.Exact) *Server {
+func NewExact(db *vec.Dataset, m metric.Metric[[]float32], idx *core.Exact, opts ...Option) *Server {
 	s := &Server{db: db, m: m, exact: idx}
+	for _, o := range opts {
+		o(s)
+	}
 	s.routes()
 	return s
 }
 
 // NewOneShot builds a read-only server around a one-shot index.
-func NewOneShot(db *vec.Dataset, m metric.Metric[[]float32], idx *core.OneShot) *Server {
+func NewOneShot(db *vec.Dataset, m metric.Metric[[]float32], idx *core.OneShot, opts ...Option) *Server {
 	s := &Server{db: db, m: m, oneshot: idx}
+	for _, o := range opts {
+		o(s)
+	}
 	s.routes()
 	return s
+}
+
+// Close flushes any parked coalesced queries as a final batch and makes
+// subsequent coalesced queries fail with 503. Safe to call multiple
+// times; a no-op when coalescing is disabled.
+func (s *Server) Close() {
+	if s.co != nil {
+		s.co.close()
+	}
 }
 
 func (s *Server) routes() {
@@ -83,18 +135,18 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 type statsBody struct {
-	Mode    string `json:"mode"`
-	Metric  string `json:"metric"`
-	Points  int    `json:"points"`
-	Live    int    `json:"live"`
-	Dim     int    `json:"dim"`
-	NumReps int    `json:"num_reps"`
-	Dirty   bool   `json:"dirty"`
+	Mode     string        `json:"mode"`
+	Metric   string        `json:"metric"`
+	Points   int           `json:"points"`
+	Live     int           `json:"live"`
+	Dim      int           `json:"dim"`
+	NumReps  int           `json:"num_reps"`
+	Dirty    bool          `json:"dirty"`
+	Coalesce coalesceStats `json:"coalesce"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	body := statsBody{Metric: s.m.Name(), Points: s.db.N(), Live: s.db.N(), Dim: s.db.Dim}
 	if s.exact != nil {
 		body.Mode = "exact"
@@ -104,6 +156,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	} else {
 		body.Mode = "oneshot"
 		body.NumReps = s.oneshot.NumReps()
+	}
+	s.mu.RUnlock()
+	if s.co != nil {
+		body.Coalesce = s.co.stats()
 	}
 	writeJSON(w, http.StatusOK, body)
 }
@@ -122,8 +178,12 @@ type neighborBody struct {
 type queryResponse struct {
 	Neighbors []neighborBody `json:"neighbors"`
 	Evals     int64          `json:"evals"`
+	Batch     int            `json:"batch,omitempty"`
 }
 
+// decodePoint decodes and validates a request body. It takes no lock:
+// the body read can stall on a slow client, and db.Dim is immutable
+// after construction (Append never changes it).
 func (s *Server) decodePoint(w http.ResponseWriter, r *http.Request) (queryRequest, bool) {
 	var req queryRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -137,9 +197,15 @@ func (s *Server) decodePoint(w http.ResponseWriter, r *http.Request) (queryReque
 	return req, true
 }
 
+func neighborBodies(nbs []par.Neighbor) []neighborBody {
+	out := make([]neighborBody, len(nbs))
+	for i, nb := range nbs {
+		out[i] = neighborBody{ID: nb.ID, Dist: nb.Dist}
+	}
+	return out
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	req, ok := s.decodePoint(w, r)
 	if !ok {
 		return
@@ -147,30 +213,95 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if req.K <= 0 {
 		req.K = 1
 	}
-	var resp queryResponse
-	if s.exact != nil {
-		nbs, st := s.exact.KNN(req.Point, req.K)
-		for _, nb := range nbs {
-			resp.Neighbors = append(resp.Neighbors, neighborBody{ID: nb.ID, Dist: nb.Dist})
+	if s.co != nil {
+		c := &call{point: req.Point, k: req.K, done: make(chan struct{})}
+		if err := s.co.submit(c); err != nil {
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
 		}
-		resp.Evals = st.TotalEvals()
-	} else {
-		nbs, st := s.oneshot.KNN(req.Point, req.K)
-		for _, nb := range nbs {
-			resp.Neighbors = append(resp.Neighbors, neighborBody{ID: nb.ID, Dist: nb.Dist})
+		if c.err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", c.err)
+			return
 		}
-		resp.Evals = st.TotalEvals()
+		writeJSON(w, http.StatusOK, queryResponse{
+			Neighbors: neighborBodies(c.nbs), Evals: c.evals, Batch: c.batch,
+		})
+		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.mu.RLock()
+	var nbs []par.Neighbor
+	var st core.Stats
+	if s.exact != nil {
+		nbs, st = s.exact.KNN(req.Point, s.clampK(req.K))
+	} else {
+		nbs, st = s.oneshot.KNN(req.Point, s.clampK(req.K))
+	}
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, queryResponse{Neighbors: neighborBodies(nbs), Evals: st.TotalEvals()})
+}
+
+// clampK bounds a client-supplied k by the database size: more
+// neighbors cannot exist, and an unbounded k would otherwise size heap
+// allocations. Callers hold at least the read lock (db can grow).
+func (s *Server) clampK(k int) int {
+	if n := s.db.N(); k > n {
+		return n
+	}
+	return k
+}
+
+// runBatch executes one coalesced batch: group the parked queries by k
+// (KNNBatch takes a single k for the whole block; mixed-k traffic splits
+// into one block per distinct k), run each group through the batch-first
+// index entry point under one read lock, and fan the rows back out to
+// their waiting handlers. Every call's done channel is closed no matter
+// what — a panic out of the index (or a poisoned query) must not strand
+// the other parked handlers.
+func (s *Server) runBatch(batch []*call) {
+	defer func() {
+		if r := recover(); r != nil {
+			for _, c := range batch {
+				if !c.released {
+					c.err = fmt.Errorf("batch query failed: %v", r)
+					c.released = true
+					close(c.done)
+				}
+			}
+		}
+	}()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	byK := make(map[int][]*call, 1)
+	for _, c := range batch {
+		k := s.clampK(c.k)
+		byK[k] = append(byK[k], c)
+	}
+	for k, calls := range byK {
+		ds := vec.New(s.db.Dim, len(calls))
+		for _, c := range calls {
+			ds.Append(c.point)
+		}
+		var nbs [][]par.Neighbor
+		var st core.Stats
+		if s.exact != nil {
+			nbs, st = s.exact.KNNBatch(ds, k)
+		} else {
+			nbs, st = s.oneshot.KNNBatch(ds, k)
+		}
+		// The batch path aggregates work across the block; report each
+		// query's amortized share.
+		share := st.TotalEvals() / int64(len(calls))
+		for i, c := range calls {
+			c.nbs = nbs[i]
+			c.evals = share
+			c.batch = len(batch)
+			c.released = true
+			close(c.done)
+		}
+	}
 }
 
 func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if s.exact == nil {
-		writeError(w, http.StatusNotImplemented, "range search requires an exact index")
-		return
-	}
 	req, ok := s.decodePoint(w, r)
 	if !ok {
 		return
@@ -179,23 +310,26 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "eps must be non-negative")
 		return
 	}
-	nbs, st := s.exact.Range(req.Point, req.Eps)
-	resp := queryResponse{Evals: st.TotalEvals()}
-	for _, nb := range nbs {
-		resp.Neighbors = append(resp.Neighbors, neighborBody{ID: nb.ID, Dist: nb.Dist})
+	s.mu.RLock()
+	if s.exact == nil {
+		s.mu.RUnlock()
+		writeError(w, http.StatusNotImplemented, "range search requires an exact index")
+		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	nbs, st := s.exact.Range(req.Point, req.Eps)
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, queryResponse{Neighbors: neighborBodies(nbs), Evals: st.TotalEvals()})
 }
 
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	req, ok := s.decodePoint(w, r)
+	if !ok {
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.exact == nil {
 		writeError(w, http.StatusNotImplemented, "mutations require an exact index")
-		return
-	}
-	req, ok := s.decodePoint(w, r)
-	if !ok {
 		return
 	}
 	id := s.exact.Insert(req.Point)
@@ -207,15 +341,15 @@ type deleteRequest struct {
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	var req deleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.exact == nil {
 		writeError(w, http.StatusNotImplemented, "mutations require an exact index")
-		return
-	}
-	var req deleteRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "invalid JSON: %v", err)
 		return
 	}
 	if err := s.exact.Delete(req.ID); err != nil {

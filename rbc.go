@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metric"
 	"repro/internal/par"
+	"repro/internal/search"
 	"repro/internal/vec"
 )
 
@@ -91,6 +92,23 @@ func BruteForceK(queries, db *Dataset, k int, m Metric) [][]Neighbor {
 
 // Neighbor is a k-NN result entry: database id and distance.
 type Neighbor = par.Neighbor
+
+// Searcher is the single-query surface shared by every index backend;
+// see internal/search for the batch query plane it anchors.
+type Searcher = search.Searcher
+
+// BatchSearcher adds the batch-first entry point KNNBatch, which answers
+// a whole query block at once (one tiled BF(Q,R) front half plus grouped
+// list scans, instead of per-query sweeps). Exact and OneShot implement
+// it natively; KNNBatch(queries, k) is bit-identical to calling KNN per
+// row, only faster.
+type BatchSearcher = search.BatchSearcher
+
+// Compile-time proof that the public index types are batch-first.
+var (
+	_ BatchSearcher = (*Exact)(nil)
+	_ BatchSearcher = (*OneShot)(nil)
+)
 
 // BuildExact constructs the exact-search index over db.
 func BuildExact(db *Dataset, m Metric, p ExactParams) (*Exact, error) {
