@@ -43,6 +43,18 @@
 // surviving lists by owning shard so each shard receives one request per
 // block instead of one per query.
 //
+// Shards are batch-and-tile native too: a shard inverts its request's
+// (query, segment) pairs into per-segment taker sets and scans each
+// owned segment once for the whole block through core.GroupedScan — the
+// same adaptive tile-vs-row machinery Exact's grouped back half uses —
+// on exact-grade kernels only. The contract (spelled out in the
+// distributed package comment) is that cluster answers are bit-identical
+// both to per-query cluster calls and to the single-node Exact index
+// built with the same parameters; the fast Gram kernel grade is excluded
+// from that path because its ulp drift would break the guarantee. A
+// cross-backend equivalence fuzz harness (repro/internal/search) pins
+// all of this against the brute-force reference.
+//
 // # Tiled kernels and squared-distance ordering
 //
 // The brute-force primitive BF(Q,X) underneath every index is a tiled

@@ -8,13 +8,13 @@ import (
 	"repro/internal/vec"
 )
 
-// tileFrontHalf is the shared batched BF(Q,R) front half of Exact and
+// TileFrontHalf is the shared batched BF(Q,R) front half of Exact and
 // OneShot search: query tiles are compared against representative tiles
 // through the tiled kernel, and each query's full phase-1 ordering row is
 // handed to back, which runs the per-query back half (pruning/probing and
 // list scans) and returns its Stats. repNorms are optional precomputed
 // squared norms for kernels that consume them.
-func tileFrontHalf(ker *metric.Kernel, queries, reps *vec.Dataset, repNorms []float64,
+func TileFrontHalf(ker *metric.Kernel, queries, reps *vec.Dataset, repNorms []float64,
 	back func(i int, row []float64, sc *par.Scratch, ts *metric.TileScratch) Stats) Stats {
 	nq := queries.N()
 	nr := reps.N()

@@ -11,7 +11,7 @@ import (
 )
 
 // This file holds the fully batched (grouped) back halves of Exact and
-// OneShot batch search. tileFrontHalf (batch.go) batches only phase 1 —
+// OneShot batch search. TileFrontHalf (batch.go) batches only phase 1 —
 // the BF(Q,R) representative scan — and then runs each query's list
 // scans alone through the row kernel. For a query *block*, that leaves
 // the dominant phase-2 work on the slowest path. The grouped back half
@@ -67,8 +67,6 @@ func (e *Exact) batchGrouped(queries *vec.Dataset, k int, sink func(i int, h *pa
 		bounds := sc.Float64(1, 2*tq) // per-query psiGamma, tripleBound
 		tIdx := sc.Ints(0, tq)        // per-list takers (tile-local query index)
 		tWin := sc.Ints(1, 2*tq)      // per-taker window [lo,hi)
-		bIdx := sc.Ints(2, tq)        // per-block intersecting takers
-		bWin := sc.Ints(3, 2*tq)      // per-block clipped windows
 		for q0 := lo; q0 < hi; q0 += tq {
 			q1 := q0 + tq
 			if q1 > hi {
@@ -77,7 +75,7 @@ func (e *Exact) batchGrouped(queries *vec.Dataset, k int, sink func(i int, h *pa
 			bq := q1 - q0
 			qflat := queries.Data[q0*dim : q1*dim]
 
-			// Phase 1: tiled BF(Qtile, R), identical to tileFrontHalf.
+			// Phase 1: tiled BF(Qtile, R), identical to TileFrontHalf.
 			qnorms := e.ker.Norms(qflat, dim, sc.Float64(6, bq))
 			for r0 := 0; r0 < nr; r0 += tp {
 				r1 := r0 + tp
@@ -116,11 +114,21 @@ func (e *Exact) batchGrouped(queries *vec.Dataset, k int, sink func(i int, h *pa
 			}
 
 			// Phase 2, grouped: for each list, collect its takers and scan
-			// the union of their windows once through the tiled kernel.
+			// the union of their windows once through GroupedScan (the
+			// shared tiled-scan hook; see groupedscan.go). The sink is
+			// hoisted out of the list loop so steady state stays
+			// allocation-free.
+			push := func(t, lo int, ords []float64) {
+				h := heaps[tIdx[t]]
+				for p := lo; p < lo+len(ords); p++ {
+					if id := int(e.ids[p]); !e.isRep[id] {
+						h.Push(id, ords[p-lo])
+					}
+				}
+			}
 			for j := 0; j < nr; j++ {
 				listLo, listHi := e.offsets[j], e.offsets[j+1]
 				takers := 0
-				unionLo, unionHi := listHi, listLo
 				for i := 0; i < bq; i++ {
 					d := dists[i*nr+j]
 					psiGamma, tripleBound := bounds[2*i], bounds[2*i+1]
@@ -146,80 +154,9 @@ func (e *Exact) batchGrouped(queries *vec.Dataset, k int, sink func(i int, h *pa
 					tWin[2*takers] = wlo
 					tWin[2*takers+1] = whi
 					takers++
-					if wlo < unionLo {
-						unionLo = wlo
-					}
-					if whi > unionHi {
-						unionHi = whi
-					}
 				}
-				if takers == 0 {
-					continue
-				}
-				for blk := unionLo; blk < unionHi; blk += tp {
-					end := blk + tp
-					if end > unionHi {
-						end = unionHi
-					}
-					bp := end - blk
-					// Takers whose windows intersect this block, clipped.
-					inter := 0
-					sumLen := 0
-					for ti := 0; ti < takers; ti++ {
-						s0, s1 := tWin[2*ti], tWin[2*ti+1]
-						if s0 < blk {
-							s0 = blk
-						}
-						if s1 > end {
-							s1 = end
-						}
-						if s0 >= s1 {
-							continue
-						}
-						bIdx[inter] = tIdx[ti]
-						bWin[2*inter] = s0
-						bWin[2*inter+1] = s1
-						inter++
-						sumLen += s1 - s0
-					}
-					if inter == 0 {
-						continue
-					}
-					local.PointEvals += int64(sumLen)
-					if inter >= 2 && inter*bp <= tileWasteFactor*sumLen {
-						// Dense enough: one tile serves every taker.
-						buf := sc.Float32(0, inter*dim)
-						for t := 0; t < inter; t++ {
-							copy(buf[t*dim:(t+1)*dim], qflat[bIdx[t]*dim:(bIdx[t]+1)*dim])
-						}
-						t := tile[:inter*bp]
-						e.ker.Tile(buf, nil, e.gather[blk*dim:end*dim], nil, dim, t, ts)
-						for ti := 0; ti < inter; ti++ {
-							h := heaps[bIdx[ti]]
-							trow := t[ti*bp : (ti+1)*bp]
-							for p := bWin[2*ti]; p < bWin[2*ti+1]; p++ {
-								if id := int(e.ids[p]); !e.isRep[id] {
-									h.Push(id, trow[p-blk])
-								}
-							}
-						}
-					} else {
-						// Sparse: scan each taker's own slice, as the
-						// per-query path would.
-						for ti := 0; ti < inter; ti++ {
-							i := bIdx[ti]
-							s0, s1 := bWin[2*ti], bWin[2*ti+1]
-							out := tile[:s1-s0]
-							e.ker.Ordering(qflat[i*dim:(i+1)*dim], e.gather[s0*dim:s1*dim], dim, out)
-							h := heaps[i]
-							for p := s0; p < s1; p++ {
-								if id := int(e.ids[p]); !e.isRep[id] {
-									h.Push(id, out[p-s0])
-								}
-							}
-						}
-					}
-				}
+				local.PointEvals += GroupedScan(e.ker, qflat, dim, e.gather,
+					tIdx, tWin, takers, sc, ts, push)
 			}
 			for i := 0; i < bq; i++ {
 				sink(q0+i, heaps[i])

@@ -10,8 +10,39 @@
 // The query plane is batch-first: QueryBatch and KNNBatch take whole
 // query blocks, group the surviving (query, list) pairs by owning shard,
 // and send ONE request per shard per block — so a 64-query block that
-// routes to 8 shards costs 16 messages instead of up to 1024. Query is
-// the single-query special case of the same path.
+// routes to 8 shards costs 16 messages instead of up to 1024. Query and
+// KNN are the single-query special case of the same path.
+//
+// # The tiled shard-scan contract
+//
+// Shards do not score candidates one pair at a time. A shard request
+// carries its whole query block; the shard inverts the block's
+// (query, segment) pairs into per-segment taker sets and scans each
+// owned segment ONCE for all of its takers through core.GroupedScan —
+// the same adaptive tile-vs-row machinery Exact's grouped batch back
+// half uses. Dense taker sets become BF(Q', L) matrix-matrix tiles;
+// a segment with a single taker (e.g. a one-query block degenerating to
+// the old per-query shape) falls back to the row kernel.
+//
+// Every kernel on the answer path is EXACT grade (metric.NewKernel):
+// per-pair arithmetic is bit-identical to the per-query row reference,
+// so the orderings a shard emits are independent of block composition
+// and of the tile-vs-row choice. The whole pipeline — coordinator
+// phase 1, pruning-bound conversion, heap merging — runs in ordering
+// space exactly as core.Exact does, converting to true distances only at
+// the API boundary. Consequences, relied on by the test suite:
+//
+//   - KNNBatch results are bit-identical to per-query KNN calls;
+//   - Cluster answers are bit-identical to the single-node core.Exact
+//     index built with the same parameters (same reported distances,
+//     same ids at razor ties).
+//
+// The fast Gram kernel grade (metric.NewFastKernel) is NOT allowed on
+// this path: its reassociated summation can drift in trailing ulps,
+// which would break both guarantees. It remains fair game for phases
+// whose outputs are not reported answers (e.g. a future approximate
+// routing phase), mirroring how core.OneShot restricts it to probe
+// selection.
 //
 // Shards run as goroutines connected by channels (real concurrency), and
 // a cost model accounts for messages, bytes and simulated latency so the
@@ -24,6 +55,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/bruteforce"
 	"repro/internal/core"
 	"repro/internal/metric"
 	"repro/internal/par"
@@ -55,9 +87,18 @@ type QueryMetrics struct {
 	ShardsContacted int
 	// Messages counts request + response messages.
 	Messages int
-	// Bytes counts payload bytes moved (query vectors out, results back).
+	// Bytes counts payload bytes moved (query vectors and pruning bounds
+	// out, results back).
 	Bytes int
-	// Evals counts distance evaluations across coordinator and shards.
+	// RepEvals counts coordinator-side representative evaluations
+	// (phase 1: nq × nr per block).
+	RepEvals int64
+	// PointEvals counts shard-side segment-scan evaluations, measured as
+	// admissible (query, position) pairs — identical between the batched
+	// and the per-query path by construction.
+	PointEvals int64
+	// Evals is RepEvals + PointEvals, kept as the total the experiments
+	// report.
 	Evals int64
 	// SimTimeUS is the modeled latency: coordinator work plus the slowest
 	// contacted shard's (transfer + scan + reply) path.
@@ -69,6 +110,8 @@ func (m *QueryMetrics) Add(o QueryMetrics) {
 	m.ShardsContacted += o.ShardsContacted
 	m.Messages += o.Messages
 	m.Bytes += o.Bytes
+	m.RepEvals += o.RepEvals
+	m.PointEvals += o.PointEvals
 	m.Evals += o.Evals
 	m.SimTimeUS += o.SimTimeUS
 }
@@ -78,7 +121,7 @@ func (m *QueryMetrics) Add(o QueryMetrics) {
 type shard struct {
 	id      int
 	dim     int
-	m       metric.Metric[[]float32]
+	ker     *metric.Kernel // exact grade — see the package comment
 	reqs    chan shardRequest
 	repIDs  []int32   // global database ids of owned representatives
 	offsets []int     // per-owned-rep segment offsets into ids/gather
@@ -88,74 +131,123 @@ type shard struct {
 }
 
 // shardRequest carries one block of queries: qs holds len(segs) packed
-// query vectors, segs lists the owned-representative segments each query
-// must scan, and k selects 1-NN (best) or k-NN (knn) replies.
+// query vectors and segs lists the owned-representative segments each
+// query must scan. bounds optionally carries, per query, the
+// coordinator's current k-th candidate ordering (the rep-seeded heap's
+// worst): candidates strictly beyond it cannot enter the merged result
+// and are dropped shard-side. includeReps admits representative
+// positions into the scan's results (broadcast mode); routed searches
+// leave it false because the coordinator seeds every representative
+// itself.
 type shardRequest struct {
-	qs    []float32
-	segs  [][]int
-	k     int
-	reply chan shardReply
+	qs          []float32
+	segs        [][]int
+	bounds      []float64
+	k           int
+	includeReps bool
+	reply       chan shardReply
 }
 
+// shardReply carries per-query candidate sets in ORDERING space; the
+// coordinator converts to true distances at the API boundary.
 type shardReply struct {
 	sid   int
-	best  []core.Result    // per query, when k == 1
-	knn   [][]par.Neighbor // per query, when k > 1
+	knn   [][]par.Neighbor // per query: up to k nearest candidates
 	evals int64
 }
 
 func (s *shard) serve() {
 	for req := range s.reqs {
-		nq := len(req.segs)
-		rep := shardReply{sid: s.id}
-		if req.k == 1 {
-			rep.best = make([]core.Result, nq)
-		} else {
-			rep.knn = make([][]par.Neighbor, nq)
+		req.reply <- s.scan(req)
+	}
+}
+
+// scan answers one batched request: it inverts the request's
+// (query, segment) pairs into per-segment taker sets (one counting
+// sort), then scans each segment once for all its takers through
+// core.GroupedScan. Representatives are excluded unless includeReps is
+// set, because the coordinator seeds every representative as a candidate
+// (their distances are already paid for in phase 1); scanning them again
+// would duplicate ids in the merged result set.
+func (s *shard) scan(req shardRequest) shardReply {
+	nq := len(req.segs)
+	rep := shardReply{sid: s.id, knn: make([][]par.Neighbor, nq)}
+	nseg := len(s.offsets) - 1
+	sc := par.GetScratch()
+	defer par.PutScratch(sc)
+	ts := metric.GetTileScratch()
+	defer metric.PutTileScratch(ts)
+	heaps := sc.HeapSlab(nq, req.k)
+
+	// Invert query → segments into segment → takers with a counting sort
+	// so each segment is visited once per block.
+	counts := sc.Ints(4, nseg+1)
+	for j := range counts {
+		counts[j] = 0
+	}
+	total := 0
+	for _, segs := range req.segs {
+		total += len(segs)
+		for _, seg := range segs {
+			counts[seg+1]++
 		}
-		for qi := 0; qi < nq; qi++ {
-			q := req.qs[qi*s.dim : (qi+1)*s.dim]
-			if req.k == 1 {
-				best := core.Result{ID: -1, Dist: math.Inf(1)}
-				for _, seg := range req.segs[qi] {
-					lo, hi := s.offsets[seg], s.offsets[seg+1]
-					for p := lo; p < hi; p++ {
-						d := s.m.Distance(q, s.gather[p*s.dim:(p+1)*s.dim])
-						rep.evals++
-						id := int(s.ids[p])
-						if d < best.Dist || (d == best.Dist && id < best.ID) {
-							best = core.Result{ID: id, Dist: d}
-						}
-					}
-				}
-				rep.best[qi] = best
+	}
+	for j := 0; j < nseg; j++ {
+		counts[j+1] += counts[j]
+	}
+	takerFlat := sc.Ints(5, total)
+	for qi, segs := range req.segs {
+		for _, seg := range segs {
+			takerFlat[counts[seg]] = qi
+			counts[seg]++
+		}
+	}
+	// counts[j] now marks the end of segment j's takers; the start is
+	// counts[j-1] (0 for j == 0).
+
+	var takers []int
+	push := func(t, lo int, ords []float64) {
+		qi := takers[t]
+		bound := math.Inf(1)
+		if req.bounds != nil {
+			bound = req.bounds[qi]
+		}
+		h := heaps[qi]
+		for p := lo; p < lo+len(ords); p++ {
+			if s.isRep[p] && !req.includeReps {
 				continue
 			}
-			// k-NN: representatives are excluded here because the
-			// coordinator seeds every representative as a candidate (their
-			// distances are already paid for in phase 1); scanning them
-			// again would duplicate ids in the merged result set.
-			h := par.NewKHeap(req.k)
-			for _, seg := range req.segs[qi] {
-				lo, hi := s.offsets[seg], s.offsets[seg+1]
-				for p := lo; p < hi; p++ {
-					if s.isRep[p] {
-						continue
-					}
-					d := s.m.Distance(q, s.gather[p*s.dim:(p+1)*s.dim])
-					rep.evals++
-					h.Push(int(s.ids[p]), d)
-				}
+			if o := ords[p-lo]; o <= bound {
+				h.Push(int(s.ids[p]), o)
 			}
-			rep.knn[qi] = h.Results()
 		}
-		req.reply <- rep
 	}
+	start := 0
+	for j := 0; j < nseg; j++ {
+		end := counts[j]
+		takers = takerFlat[start:end]
+		start = end
+		lo, hi := s.offsets[j], s.offsets[j+1]
+		if len(takers) == 0 || lo == hi {
+			continue // unrequested or empty segment
+		}
+		tWin := sc.Ints(1, 2*len(takers))
+		for t := range takers {
+			tWin[2*t], tWin[2*t+1] = lo, hi
+		}
+		rep.evals += core.GroupedScan(s.ker, req.qs, s.dim, s.gather,
+			takers, tWin, len(takers), sc, ts, push)
+	}
+	for qi := 0; qi < nq; qi++ {
+		rep.knn[qi] = heaps[qi].Results()
+	}
+	return rep
 }
 
 // Cluster is a simulated RBC-sharded deployment.
 type Cluster struct {
 	m      metric.Metric[[]float32]
+	ker    *metric.Kernel // exact grade, shared by coordinator and shards
 	dim    int
 	cost   CostModel
 	shards []*shard
@@ -185,7 +277,7 @@ func Build(db *vec.Dataset, m metric.Metric[[]float32], prm core.ExactParams, sh
 	}
 	nr := idx.NumReps()
 	c := &Cluster{
-		m: m, dim: db.Dim, cost: cost,
+		m: m, ker: metric.NewKernel(m), dim: db.Dim, cost: cost,
 		repData:  db.Subset(idx.RepIDs()),
 		repIDs:   idx.RepIDs(),
 		radii:    idx.Radii(),
@@ -216,12 +308,12 @@ func Build(db *vec.Dataset, m metric.Metric[[]float32], prm core.ExactParams, sh
 		load[best] += sizes[rep]
 		perShard[best] = append(perShard[best], rep)
 	}
-	// Materialize shards. Members are fetched through Range on the exact
-	// index? No — we rebuild the segments directly from the index's
-	// public surface: re-derive each rep's members by assignment.
+	// Materialize shards from the index's own point-to-representative
+	// assignment, so shard segments hold exactly the lists the radii were
+	// computed over.
 	members := assignment(db, c.repData, m)
 	for sid := 0; sid < shards; sid++ {
-		sh := &shard{id: sid, dim: db.Dim, m: m, reqs: make(chan shardRequest, 16)}
+		sh := &shard{id: sid, dim: db.Dim, ker: c.ker, reqs: make(chan shardRequest, 16)}
 		sh.offsets = append(sh.offsets, 0)
 		for seg, rep := range perShard[sid] {
 			c.repShard[rep] = int32(sid)
@@ -240,21 +332,14 @@ func Build(db *vec.Dataset, m metric.Metric[[]float32], prm core.ExactParams, sh
 	return c, nil
 }
 
-// assignment recomputes each database point's owning representative
-// (nearest, ties to the lower representative index).
+// assignment recomputes each database point's owning representative with
+// the same tiled BF(X,R) call BuildExact uses, so membership (including
+// razor-tie assignments) is bit-identical to the index's own lists and
+// the coordinator's radii bound every shard segment correctly.
 func assignment(db, repData *vec.Dataset, m metric.Metric[[]float32]) [][]int32 {
-	nr := repData.N()
-	members := make([][]int32, nr)
-	dists := make([]float64, nr)
-	for i := 0; i < db.N(); i++ {
-		metric.BatchDistances(m, db.Row(i), repData.Data, db.Dim, dists)
-		best := 0
-		for j := 1; j < nr; j++ {
-			if dists[j] < dists[best] {
-				best = j
-			}
-		}
-		members[best] = append(members[best], int32(i))
+	members := make([][]int32, repData.N())
+	for i, r := range bruteforce.Search(db, repData, m, nil) {
+		members[r.ID] = append(members[r.ID], int32(i))
 	}
 	return members
 }
@@ -273,6 +358,7 @@ func (c *Cluster) ShardLoads() []int {
 
 const float32Bytes = 4
 const resultBytes = 16 // id + distance + framing
+const boundBytes = 8   // per-query pruning bound shipped with routed requests
 
 // shardBatch accumulates one shard's slice of a query block: which
 // global queries it serves and, per query, which segments to scan.
@@ -300,6 +386,13 @@ func (c *Cluster) Query(q []float32) (core.Result, QueryMetrics) {
 	return res[0], met
 }
 
+// KNN answers one k-NN query; it is KNNBatch on a one-query block and
+// bit-identical to the query's row in any batched call.
+func (c *Cluster) KNN(q []float32, k int) ([]par.Neighbor, QueryMetrics) {
+	nbs, met := c.KNNBatch(vec.FromFlat(q, len(q)), k)
+	return nbs[0], met
+}
+
 // QueryBatch answers a block of 1-NN queries with batched shard fan-out.
 // It is KNNBatch at k = 1, where the pruning bounds degenerate to the
 // paper's exact-search rules (γ_k = γ_1, 2γ_k + γ_1 = 3γ).
@@ -324,7 +417,9 @@ func (c *Cluster) QueryBatch(queries *vec.Dataset) ([]core.Result, QueryMetrics)
 // Every representative is seeded as a candidate (they are database
 // points whose distances are already paid for), which keeps the result
 // multiset exact at pruning-boundary ties; shards skip representatives
-// during their scans in exchange.
+// during their scans in exchange. The merge runs in ordering space, so
+// results are bit-identical to core.Exact and to per-query KNN calls
+// (see the package comment for the contract).
 func (c *Cluster) KNNBatch(queries *vec.Dataset, k int) ([][]par.Neighbor, QueryMetrics) {
 	nq := queries.N()
 	out := make([][]par.Neighbor, nq)
@@ -332,19 +427,47 @@ func (c *Cluster) KNNBatch(queries *vec.Dataset, k int) ([][]par.Neighbor, Query
 	if nq == 0 || k <= 0 {
 		return out, met
 	}
-	nr := c.repData.N()
-	met.Evals = int64(nq) * int64(nr)
-	heaps := make([]*par.KHeap, nq)
-	survivors := make([][]int32, nq)
-	par.For(nq, 8, func(lo, hi int) {
-		dists := make([]float64, nr)
-		kk := k
-		if kk > nr {
-			kk = nr
+	c.checkDim(queries.Dim)
+	heaps, bounds, batches := c.plan(queries, k, &met)
+	c.finish(queries, k, batches, bounds, false, &met, func(rp shardReply, qidx []int) {
+		for t, qi := range qidx {
+			for _, nb := range rp.knn[t] {
+				heaps[qi].Push(nb.ID, nb.Dist)
+			}
 		}
-		for i := lo; i < hi; i++ {
-			metric.BatchDistances(c.m, queries.Row(i), c.repData.Data, c.dim, dists)
-			sel := par.NewKHeap(kk)
+	})
+	for i, h := range heaps {
+		out[i] = c.toNeighbors(h)
+	}
+	return out, met
+}
+
+// plan runs the coordinator phase over a query block: the shared tiled
+// exact BF(Q,R) front half (core.TileFrontHalf, the same hook Exact's
+// batch paths ride) in ordering space, per-query pruning-bound
+// computation in distance space (their triangle-inequality derivations
+// add real distances), heap seeding with every representative, and the
+// survivor → (shard, segment) routing table. It returns the per-query
+// candidate heaps (ordering space), the per-query shard-side pruning
+// bound (the seeded heap's worst ordering, +Inf while not full), and the
+// per-shard batches.
+func (c *Cluster) plan(queries *vec.Dataset, k int, met *QueryMetrics) ([]*par.KHeap, []float64, []shardBatch) {
+	nq := queries.N()
+	nr := c.repData.N()
+	heaps := make([]*par.KHeap, nq)
+	bounds := make([]float64, nq)
+	survivors := make([][]int32, nq)
+	kk := k
+	if kk > nr {
+		kk = nr
+	}
+	st := core.TileFrontHalf(c.ker, queries, c.repData, nil,
+		func(qi int, ords []float64, sc *par.Scratch, _ *metric.TileScratch) core.Stats {
+			dists := sc.Float64(0, nr)
+			for j, o := range ords {
+				dists[j] = c.ker.ToDistance(o)
+			}
+			sel := sc.Heap(1, kk)
 			for j, d := range dists {
 				sel.Push(j, d)
 			}
@@ -356,10 +479,14 @@ func (c *Cluster) KNNBatch(queries *vec.Dataset, k int) ([][]par.Neighbor, Query
 			}
 			tripleBound := 2*gammaK + gamma1
 			h := par.NewKHeap(k)
-			for j, d := range dists {
-				h.Push(c.repIDs[j], d)
+			for j := range ords {
+				h.Push(c.repIDs[j], ords[j])
 			}
-			heaps[i] = h
+			heaps[qi] = h
+			bounds[qi] = math.Inf(1)
+			if w, full := h.Worst(); full {
+				bounds[qi] = w
+			}
 			var surv []int32
 			for j := 0; j < nr; j++ {
 				if dists[j] >= gammaK+c.radii[j] {
@@ -370,39 +497,40 @@ func (c *Cluster) KNNBatch(queries *vec.Dataset, k int) ([][]par.Neighbor, Query
 				}
 				surv = append(surv, int32(j))
 			}
-			survivors[i] = surv
-		}
-	})
+			survivors[qi] = surv
+			return core.Stats{RepEvals: int64(nr)}
+		})
+	met.RepEvals += st.RepEvals
+	met.Evals += st.RepEvals
 	batches := make([]shardBatch, len(c.shards))
 	for i := 0; i < nq; i++ {
 		for _, j := range survivors[i] {
 			batches[c.repShard[j]].add(i, int(c.repSeg[j]))
 		}
 	}
-	c.finish(queries, k, batches, &met, func(rp shardReply, qidx []int) {
-		for t, qi := range qidx {
-			if rp.best != nil { // k == 1 takes the shards' lean reply form
-				if b := rp.best[t]; b.ID >= 0 {
-					heaps[qi].Push(b.ID, b.Dist)
-				}
-				continue
-			}
-			for _, nb := range rp.knn[t] {
-				heaps[qi].Push(nb.ID, nb.Dist)
-			}
-		}
-	})
-	for i := range heaps {
-		out[i] = heaps[i].Results()
+	return heaps, bounds, batches
+}
+
+// toNeighbors extracts a heap's candidates sorted ascending, converting
+// ordering distances at the boundary and re-sorting in distance space
+// (the conversion can map distinct ordering values to equal distances) —
+// the same finish core.Exact applies.
+func (c *Cluster) toNeighbors(h *par.KHeap) []par.Neighbor {
+	res := h.Results()
+	for i := range res {
+		res[i].Dist = c.ker.ToDistance(res[i].Dist)
 	}
-	return out, met
+	par.SortNeighbors(res)
+	return res
 }
 
 // QueryBroadcast answers one query the brute-force way: every shard scans
-// everything it holds. The baseline for the §8 experiments.
+// everything it holds, representatives included (the coordinator's
+// representative knowledge is deliberately unused). The baseline for the
+// §8 experiments.
 func (c *Cluster) QueryBroadcast(q []float32) (core.Result, QueryMetrics) {
 	var met QueryMetrics
-	best := core.Result{ID: -1, Dist: math.Inf(1)}
+	best := par.Neighbor{ID: -1, Dist: math.Inf(1)}
 	batches := make([]shardBatch, len(c.shards))
 	for sid, sh := range c.shards {
 		for seg := 0; seg < len(sh.offsets)-1; seg++ {
@@ -410,22 +538,33 @@ func (c *Cluster) QueryBroadcast(q []float32) (core.Result, QueryMetrics) {
 		}
 	}
 	queries := vec.FromFlat(q, len(q))
-	c.finish(queries, 1, batches, &met, func(rp shardReply, qidx []int) {
-		b := rp.best[0]
-		if b.ID >= 0 && (b.Dist < best.Dist || (b.Dist == best.Dist && b.ID < best.ID)) {
-			best = b
+	c.checkDim(queries.Dim)
+	c.finish(queries, 1, batches, nil, true, &met, func(rp shardReply, qidx []int) {
+		if len(rp.knn[0]) == 0 {
+			return
+		}
+		nb := rp.knn[0][0]
+		if nb.Dist < best.Dist || (nb.Dist == best.Dist && nb.ID < best.ID) {
+			best = nb
 		}
 	})
-	return best, met
+	if best.ID < 0 {
+		return core.Result{ID: -1, Dist: math.Inf(1)}, met
+	}
+	return core.Result{ID: best.ID, Dist: c.ker.ToDistance(best.Dist)}, met
 }
 
 // finish fans a query block out to the shards with work, merges answers
 // through sink and fills in the cost model. Per contacted shard it
 // accounts one request and one response message, the packed query
-// vectors out and k results per query back.
-func (c *Cluster) finish(queries *vec.Dataset, k int, batches []shardBatch, met *QueryMetrics, sink func(rp shardReply, qidx []int)) {
+// vectors (plus pruning bounds, when routed) out and k results per query
+// back.
+func (c *Cluster) finish(queries *vec.Dataset, k int, batches []shardBatch, bounds []float64, includeReps bool, met *QueryMetrics, sink func(rp shardReply, qidx []int)) {
 	reply := make(chan shardReply, len(batches))
 	queryBytes := c.dim*float32Bytes + 16
+	if bounds != nil {
+		queryBytes += boundBytes
+	}
 	contacted := 0
 	shardBytes := make([]int, len(batches))
 	for sid := range batches {
@@ -434,10 +573,17 @@ func (c *Cluster) finish(queries *vec.Dataset, k int, batches []shardBatch, met 
 			continue
 		}
 		qs := make([]float32, len(sb.qidx)*c.dim)
+		var bs []float64
+		if bounds != nil {
+			bs = make([]float64, len(sb.qidx))
+		}
 		for t, qi := range sb.qidx {
 			copy(qs[t*c.dim:(t+1)*c.dim], queries.Row(qi))
+			if bs != nil {
+				bs[t] = bounds[qi]
+			}
 		}
-		c.shards[sid].reqs <- shardRequest{qs: qs, segs: sb.segs, k: k, reply: reply}
+		c.shards[sid].reqs <- shardRequest{qs: qs, segs: sb.segs, bounds: bs, k: k, includeReps: includeReps, reply: reply}
 		contacted++
 		shardBytes[sid] = len(sb.qidx) * (queryBytes + k*resultBytes)
 		met.ShardsContacted++
@@ -447,6 +593,7 @@ func (c *Cluster) finish(queries *vec.Dataset, k int, batches []shardBatch, met 
 	var slowest float64
 	for r := 0; r < contacted; r++ {
 		rp := <-reply
+		met.PointEvals += rp.evals
 		met.Evals += rp.evals
 		sink(rp, batches[rp.sid].qidx)
 		// Per-shard critical path: request latency + transfer + scan +
@@ -458,6 +605,12 @@ func (c *Cluster) finish(queries *vec.Dataset, k int, batches []shardBatch, met 
 		}
 	}
 	met.SimTimeUS += slowest
+}
+
+func (c *Cluster) checkDim(dim int) {
+	if dim != c.dim {
+		panic(fmt.Sprintf("distributed: query dim %d does not match database dim %d", dim, c.dim))
+	}
 }
 
 // Close shuts down the shard goroutines. The cluster is unusable after.

@@ -1,0 +1,84 @@
+package distributed
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metric"
+	"repro/internal/par"
+	"repro/internal/vec"
+)
+
+// Stress test for concurrent batch callers over shared shards, designed
+// for the -race CI job: many goroutines interleave KNNBatch, QueryBatch
+// and per-query calls against one cluster, and every result must stay
+// bit-identical to a single-threaded reference — concurrency must not
+// leak scratch state between requests.
+func TestConcurrentBatchCallers(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	db := clustered(rng, 1500, 6, 8)
+	cl, err := Build(db, metric.Euclidean{}, core.ExactParams{Seed: 223}, 5, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	type testCase struct {
+		queries *vec.Dataset
+		k       int
+		knn     [][]par.Neighbor // single-threaded reference
+		best    []core.Result
+	}
+	cases := make([]testCase, 4)
+	for b := range cases {
+		cases[b].queries = clustered(rand.New(rand.NewSource(int64(300+b))), 24, 6, 8)
+		cases[b].k = 1 + b*2
+		cases[b].knn, _ = cl.KNNBatch(cases[b].queries, cases[b].k)
+		cases[b].best, _ = cl.QueryBatch(cases[b].queries)
+	}
+
+	const workers = 8
+	const rounds = 6
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				cse := cases[(w+r)%len(cases)]
+				switch (w + r) % 3 {
+				case 0:
+					got, _ := cl.KNNBatch(cse.queries, cse.k)
+					for i := range cse.knn {
+						for p := range cse.knn[i] {
+							if got[i][p] != cse.knn[i][p] {
+								t.Errorf("worker %d round %d: KNNBatch diverged at query %d pos %d", w, r, i, p)
+								return
+							}
+						}
+					}
+				case 1:
+					got, _ := cl.QueryBatch(cse.queries)
+					for i := range cse.best {
+						if got[i] != cse.best[i] {
+							t.Errorf("worker %d round %d: QueryBatch diverged at query %d", w, r, i)
+							return
+						}
+					}
+				default:
+					i := (w * r) % cse.queries.N()
+					got, _ := cl.KNN(cse.queries.Row(i), cse.k)
+					for p := range cse.knn[i] {
+						if got[p] != cse.knn[i][p] {
+							t.Errorf("worker %d round %d: KNN diverged at query %d pos %d", w, r, i, p)
+							return
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,288 @@
+package distributed
+
+import (
+	"math"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/bruteforce"
+	"repro/internal/core"
+	"repro/internal/metric"
+)
+
+// Tests for the tiled shard-scan contract (see the package comment):
+// batched scans must be bit-identical to per-query calls and to the
+// single-node core.Exact index, must not fall back to per-pair
+// m.Distance in the hot loop, and must keep work accounting identical
+// between the batched and per-query paths.
+
+// Batched results must be bit-identical (ids AND distance bits) to
+// per-query Cluster.KNN — the acceptance bar for the batched scan.
+func TestKNNBatchBitIdenticalToPerQueryKNN(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	db := clustered(rng, 1800, 7, 9)
+	cl, err := Build(db, metric.Euclidean{}, core.ExactParams{Seed: 67}, 5, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	queries := clustered(rand.New(rand.NewSource(71)), 50, 7, 9)
+	for _, k := range []int{1, 4, 11} {
+		batch, _ := cl.KNNBatch(queries, k)
+		for i := 0; i < queries.N(); i++ {
+			one, _ := cl.KNN(queries.Row(i), k)
+			if len(batch[i]) != len(one) {
+				t.Fatalf("k=%d query %d: batch %d results, per-query %d", k, i, len(batch[i]), len(one))
+			}
+			for p := range one {
+				if batch[i][p] != one[p] {
+					t.Fatalf("k=%d query %d pos %d: batch %+v, per-query %+v (not bit-identical)",
+						k, i, p, batch[i][p], one[p])
+				}
+			}
+		}
+	}
+}
+
+// Cluster answers must be bit-identical to the single-node core.Exact
+// index built with the same parameters: same reported distance bits,
+// same ids at razor ties.
+func TestClusterMatchesExactBitForBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	db := clustered(rng, 1200, 6, 8)
+	// Plant duplicates so representative ties and duplicate candidates
+	// exercise the tie rules.
+	for i := 0; i < 30; i++ {
+		copy(db.Row(i+400), db.Row(i))
+	}
+	m := metric.Euclidean{}
+	prm := core.ExactParams{Seed: 79}
+	idx, err := core.BuildExact(db, m, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 3, 6} {
+		cl, err := Build(db, m, prm, shards, DefaultCostModel())
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries := clustered(rand.New(rand.NewSource(83)), 40, 6, 8)
+		for _, k := range []int{1, 5} {
+			got, _ := cl.KNNBatch(queries, k)
+			want, _ := idx.KNNBatch(queries, k)
+			for i := range want {
+				if len(got[i]) != len(want[i]) {
+					t.Fatalf("shards=%d k=%d query %d: %d results, exact has %d", shards, k, i, len(got[i]), len(want[i]))
+				}
+				for p := range want[i] {
+					if got[i][p] != want[i][p] {
+						t.Fatalf("shards=%d k=%d query %d pos %d: cluster %+v, exact %+v",
+							shards, k, i, p, got[i][p], want[i][p])
+					}
+				}
+			}
+		}
+		cl.Close()
+	}
+}
+
+// countingMetric wraps Euclidean but intercepts per-pair Distance calls.
+// The kernel layer resolves it through its OrderingBatch fast path (it is
+// not the Euclidean type), so any Distance call comes from a per-pair
+// scan loop — which the shard hot path must no longer contain.
+type countingMetric struct {
+	metric.Euclidean
+	calls *atomic.Int64
+}
+
+func (c countingMetric) Distance(a, b []float32) float64 {
+	c.calls.Add(1)
+	return c.Euclidean.Distance(a, b)
+}
+
+func TestShardScansAvoidPerPairDistance(t *testing.T) {
+	rng := rand.New(rand.NewSource(89))
+	db := clustered(rng, 1000, 8, 6)
+	var calls atomic.Int64
+	m := countingMetric{calls: &calls}
+	cl, err := Build(db, m, core.ExactParams{Seed: 97}, 4, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	queries := clustered(rand.New(rand.NewSource(101)), 32, 8, 6)
+
+	calls.Store(0)
+	tilesBefore := metric.TileInvocations()
+	if _, met := cl.KNNBatch(queries, 3); met.PointEvals == 0 {
+		t.Fatal("batch reported no shard-side work")
+	}
+	if got := calls.Load(); got != 0 {
+		t.Fatalf("query path made %d per-pair m.Distance calls, want 0", got)
+	}
+	if metric.TileInvocations() == tilesBefore {
+		t.Fatal("batched search performed no tiled kernel calls")
+	}
+	// Results must still match brute force under the counting wrapper.
+	got, _ := cl.KNN(queries.Row(0), 3)
+	want := bruteforce.SearchOneK(queries.Row(0), db, 3, m, nil)
+	for p := range want {
+		if got[p] != want[p] {
+			t.Fatalf("pos %d: %+v want %+v", p, got[p], want[p])
+		}
+	}
+}
+
+// The cluster kernel must be exact grade: the fast Gram kernel is not
+// allowed anywhere on the answer path (see the package comment).
+func TestClusterKernelIsExactGrade(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	db := clustered(rng, 300, 4, 3)
+	cl, err := Build(db, metric.Euclidean{}, core.ExactParams{Seed: 107}, 2, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if cl.ker.IsFast() {
+		t.Fatal("cluster resolved a fast-grade kernel; the shard-scan contract requires exact grade")
+	}
+	for _, sh := range cl.shards {
+		if sh.ker.IsFast() {
+			t.Fatalf("shard %d holds a fast-grade kernel", sh.id)
+		}
+	}
+}
+
+// k exceeding both a shard's point count and the database size: every
+// query must get all n points back, exactly once each, matching brute
+// force.
+func TestKNNBatchKLargerThanShard(t *testing.T) {
+	rng := rand.New(rand.NewSource(109))
+	db := clustered(rng, 60, 5, 3)
+	m := metric.Euclidean{}
+	cl, err := Build(db, m, core.ExactParams{Seed: 113}, 4, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	queries := clustered(rand.New(rand.NewSource(127)), 10, 5, 3)
+	for _, k := range []int{59, 60, 200} {
+		got, _ := cl.KNNBatch(queries, k)
+		for i := 0; i < queries.N(); i++ {
+			want := bruteforce.SearchOneK(queries.Row(i), db, k, m, nil)
+			if len(got[i]) != len(want) {
+				t.Fatalf("k=%d query %d: %d results, want %d", k, i, len(got[i]), len(want))
+			}
+			for p := range want {
+				if got[i][p] != want[p] {
+					t.Fatalf("k=%d query %d pos %d: %+v want %+v", k, i, p, got[i][p], want[p])
+				}
+			}
+		}
+	}
+}
+
+// Duplicate representatives produce empty ownership segments (ties
+// assign every member to the lower-id duplicate). Scans must skip them
+// without panicking and stay exact.
+func TestKNNBatchEmptySegments(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	db := clustered(rng, 400, 4, 4)
+	// Make large duplicate groups so several representatives collide.
+	for i := 0; i < 200; i++ {
+		copy(db.Row(200+i), db.Row(i%20))
+	}
+	m := metric.Euclidean{}
+	cl, err := Build(db, m, core.ExactParams{Seed: 137, NumReps: 60, ExactCount: true}, 3, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	empty := 0
+	for _, sh := range cl.shards {
+		for seg := 0; seg < len(sh.offsets)-1; seg++ {
+			if sh.offsets[seg] == sh.offsets[seg+1] {
+				empty++
+			}
+		}
+	}
+	if empty == 0 {
+		t.Fatal("test setup failed to produce an empty segment (no duplicate representatives sampled)")
+	}
+	queries := clustered(rand.New(rand.NewSource(139)), 20, 4, 4)
+	got, _ := cl.KNNBatch(queries, 4)
+	for i := 0; i < queries.N(); i++ {
+		want := bruteforce.SearchOneK(queries.Row(i), db, 4, m, nil)
+		for p := range want {
+			if got[i][p] != want[p] {
+				t.Fatalf("query %d pos %d: %+v want %+v", i, p, got[i][p], want[p])
+			}
+		}
+	}
+}
+
+// Work accounting must be identical between the batched scan and the
+// per-query path: RepEvals, PointEvals and the Evals total all match,
+// while the batched fan-out amortizes messages.
+func TestAccountingParityBatchVsPerQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(149))
+	db := clustered(rng, 2200, 6, 10)
+	cl, err := Build(db, metric.Euclidean{}, core.ExactParams{Seed: 151}, 6, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	queries := clustered(rand.New(rand.NewSource(157)), 48, 6, 10)
+	for _, k := range []int{1, 6} {
+		_, bm := cl.KNNBatch(queries, k)
+		var pq QueryMetrics
+		for i := 0; i < queries.N(); i++ {
+			_, m := cl.KNN(queries.Row(i), k)
+			pq.Add(m)
+		}
+		if bm.RepEvals != pq.RepEvals {
+			t.Fatalf("k=%d: batch RepEvals %d, per-query %d", k, bm.RepEvals, pq.RepEvals)
+		}
+		if bm.PointEvals != pq.PointEvals {
+			t.Fatalf("k=%d: batch PointEvals %d, per-query %d", k, bm.PointEvals, pq.PointEvals)
+		}
+		if bm.Evals != pq.Evals || bm.Evals != bm.RepEvals+bm.PointEvals {
+			t.Fatalf("k=%d: eval totals inconsistent: batch %+v per-query %+v", k, bm, pq)
+		}
+		if bm.ShardsContacted > cl.NumShards() {
+			t.Fatalf("k=%d: batch contacted %d shard requests for %d shards", k, bm.ShardsContacted, cl.NumShards())
+		}
+		if pq.ShardsContacted <= bm.ShardsContacted {
+			t.Fatalf("k=%d: no message amortization: batch %d, per-query %d", k, bm.ShardsContacted, pq.ShardsContacted)
+		}
+	}
+}
+
+// A single-query block must degenerate cleanly to the row-scan shape and
+// stay exact — including on a single-shard cluster, where every segment
+// has exactly one taker.
+func TestSingleQueryBlockDegenerates(t *testing.T) {
+	rng := rand.New(rand.NewSource(163))
+	db := clustered(rng, 500, 5, 5)
+	m := metric.Euclidean{}
+	cl, err := Build(db, m, core.ExactParams{Seed: 167}, 1, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	q := clustered(rand.New(rand.NewSource(173)), 1, 5, 5)
+	got, met := cl.KNNBatch(q, 5)
+	want := bruteforce.SearchOneK(q.Row(0), db, 5, m, nil)
+	for p := range want {
+		if got[0][p] != want[p] {
+			t.Fatalf("pos %d: %+v want %+v", p, got[0][p], want[p])
+		}
+	}
+	if met.ShardsContacted > 1 {
+		t.Fatalf("single shard contacted %d times", met.ShardsContacted)
+	}
+	if math.IsNaN(met.SimTimeUS) || met.SimTimeUS < 0 {
+		t.Fatalf("bad sim time %v", met.SimTimeUS)
+	}
+}

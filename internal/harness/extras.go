@@ -164,6 +164,51 @@ func RunDistributed(cfg Config) (*Output, error) {
 	return &Output{Tables: []*stats.Table{t}}, nil
 }
 
+// RunDistBatch measures what the tiled, batched shard scans buy on the
+// distributed cluster: the same k-NN workload driven one query at a time
+// versus as whole blocks, reporting wall-clock throughput alongside the
+// messaging and simulated-latency amortization. Results are bit-identical
+// between the two modes by the shard-scan contract, so the table is a
+// pure cost comparison.
+func RunDistBatch(cfg Config) (*Output, error) {
+	cfg = cfg.withDefaults()
+	e, err := dataset.ByName("robot")
+	if err != nil {
+		return nil, err
+	}
+	db, queries := workload(e, cfg, 0)
+	nr := int(cfg.RepFactor * math.Sqrt(float64(db.N())))
+	const shards = 8
+	cl, err := distributed.Build(db, euclid, core.ExactParams{
+		NumReps: nr, Seed: cfg.Seed, ExactCount: true}, shards, distributed.DefaultCostModel())
+	if err != nil {
+		return nil, err
+	}
+	defer cl.Close()
+	t := stats.NewTable(
+		fmt.Sprintf("Distributed batch scans (robot, n=%d, %d shards): per-query vs block fan-out", db.N(), shards),
+		"k", "mode", "queries/sec", "msgs/query", "evals/query", "sim ms/query")
+	q := float64(queries.N())
+	for _, k := range []int{1, 10} {
+		var perQuery distributed.QueryMetrics
+		perSec := timeIt(func() {
+			for i := 0; i < queries.N(); i++ {
+				_, m := cl.KNN(queries.Row(i), k)
+				perQuery.Add(m)
+			}
+		})
+		var batch distributed.QueryMetrics
+		batchSec := timeIt(func() {
+			_, batch = cl.KNNBatch(queries, k)
+		})
+		t.AddRow(k, "per-query", q/perSec,
+			float64(perQuery.Messages)/q, float64(perQuery.Evals)/q, perQuery.SimTimeUS/q/1000)
+		t.AddRow(k, "batched", q/batchSec,
+			float64(batch.Messages)/q, float64(batch.Evals)/q, batch.SimTimeUS/q/1000)
+	}
+	return &Output{Tables: []*stats.Table{t}}, nil
+}
+
 // RunBaselines compares every implemented search structure on one low-
 // and one higher-dimensional workload — quantifying §7.1's remark that
 // "in very low-dimensional spaces, basic data structures like kd-trees

@@ -113,6 +113,9 @@ func Registry() []Experiment {
 		{ID: "distributed", Title: "Extension (§8): representative-sharded cluster",
 			Description: "routed RBC vs broadcast brute force on a simulated cluster",
 			Run:         RunDistributed},
+		{ID: "dist-batch", Title: "Extension (§8): tiled batched shard scans",
+			Description: "distributed k-NN per-query vs block fan-out (throughput + message amortization)",
+			Run:         RunDistBatch},
 		{ID: "gpu-divergence", Title: "Extension: SIMT divergence ablation",
 			Description: "why conditional tree search under-utilizes vector hardware (§3)",
 			Run:         RunGPUDivergence},

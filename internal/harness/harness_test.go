@@ -21,7 +21,7 @@ func TestConfigDefaults(t *testing.T) {
 
 func TestRegistryAndByID(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 14 {
+	if len(reg) != 15 {
 		t.Fatalf("registry size %d", len(reg))
 	}
 	seen := map[string]bool{}

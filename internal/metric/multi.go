@@ -166,6 +166,12 @@ func newKernel(m Metric[[]float32], fast bool) *Kernel {
 // Metric returns the underlying metric.
 func (k *Kernel) Metric() Metric[[]float32] { return k.m }
 
+// IsFast reports whether the kernel was constructed with NewFastKernel.
+// Fast-grade tiles may differ from the per-query reference in trailing
+// ulps; callers whose results must stay bit-identical to the reference
+// (Exact phase 2, the distributed shard scans) assert !IsFast().
+func (k *Kernel) IsFast() bool { return k.fast }
+
 // ToDistance converts an ordering distance to the true distance.
 func (k *Kernel) ToDistance(o float64) float64 {
 	if k.ord != nil {

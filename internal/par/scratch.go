@@ -10,13 +10,16 @@ import "sync"
 // Slots are small fixed indices chosen by the caller; two live buffers must
 // use distinct slots. Requesting a slot again invalidates its previous
 // contents (the backing array is reused). Within internal/core the slot
-// ownership convention is: 0–2 and 5 belong to the per-query back half
-// (phase-1 orderings, converted distances, live-gamma buffer, list-scan
-// block), 3–4 and 6 to the batched front half (rows, tile, query norms).
+// ownership convention is: float64 0–2 and 5 belong to the per-query back
+// half (phase-1 orderings, converted distances, live-gamma buffer,
+// list-scan block), 3–4 and 6 to the batched front half (rows, tile,
+// query norms). core.GroupedScan reserves float64 slot 7, float32 slot 0
+// and int slots 2–3 for its block bookkeeping; grouped-scan callers own
+// int slots 0–1 (taker ids, taker windows) and 4–5 (segment grouping).
 type Scratch struct {
 	f64   [8][]float64
 	f32   [2][]float32
-	ints  [4][]int
+	ints  [6][]int
 	heaps [2]*KHeap
 	slab  []*KHeap
 }

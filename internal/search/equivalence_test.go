@@ -1,0 +1,296 @@
+package search
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bruteforce"
+	"repro/internal/core"
+	"repro/internal/covertree"
+	"repro/internal/distributed"
+	"repro/internal/kdtree"
+	"repro/internal/metric"
+	"repro/internal/par"
+	"repro/internal/vec"
+)
+
+// Cross-backend equivalence harness: every backend must agree with the
+// brute-force reference over randomized tie-rich datasets (duplicates,
+// quantized coordinates, degenerate sizes), and every KNNBatch must be
+// bit-identical to its own per-query KNN.
+//
+// Three comparison grades exist, strongest applicable wins:
+//
+//   - BIT-FOR-BIT (same ids, same distance bits, same order): every
+//     backend's KNNBatch against its own per-query KNN; bruteforce and
+//     OneShot-at-S=n against the reference (their scans see every point,
+//     so (dist, id) selection is total); and the distributed cluster
+//     against the single-node core.Exact built with the same parameters.
+//   - ORDERING-TIE RULE (distance bits pinned position by position, ids
+//     free within an equal-distance class but verified to achieve the
+//     class distance, no duplicates): the pruning RBC indexes against
+//     the reference. Rule (1) may prune a list at exactly γ_k, so a
+//     boundary tie can surface a different — equally correct — id.
+//   - ULP-TOLERANT tie rule: the tree baselines (kd-tree, cover tree)
+//     accumulate distances in a different association order, so their
+//     values can drift in trailing ulps; distances must match within
+//     tolerance and ids must match exactly wherever the reference is
+//     unambiguous (strictly inside the k-boundary tie band).
+
+// equivalenceCorpus is the checked-in fuzz seed corpus. `go test` runs
+// every entry deterministically (both through the corpus test below and
+// as FuzzSearchEquivalence's seed inputs), so CI fails reproducibly on
+// any regression. Selectors map onto dims {1,3,17,64}, n {0,1,37,1000}
+// and k {1,3,n+5}.
+var equivalenceCorpus = []struct {
+	seed               int64
+	dimSel, nSel, kSel uint8
+}{
+	{1, 0, 0, 0},
+	{2, 1, 1, 1},
+	{3, 2, 2, 2},
+	{4, 3, 3, 0},
+	{5, 3, 2, 1},
+	{6, 2, 3, 2},
+	{7, 1, 2, 0},
+	{8, 0, 3, 1},
+	{9, 2, 2, 0},
+	{10, 3, 1, 2},
+	{11, 0, 2, 2},
+	{12, 1, 3, 1},
+	{13, 2, 0, 1},
+	{14, 3, 2, 2},
+}
+
+func FuzzSearchEquivalence(f *testing.F) {
+	for _, c := range equivalenceCorpus {
+		f.Add(c.seed, c.dimSel, c.nSel, c.kSel)
+	}
+	f.Fuzz(func(t *testing.T, seed int64, dimSel, nSel, kSel uint8) {
+		checkEquivalence(t, seed, dimSel, nSel, kSel)
+	})
+}
+
+// TestSearchEquivalenceCorpus runs the seed corpus as plain subtests, so
+// the matrix is visible (and individually addressable) in -v output.
+func TestSearchEquivalenceCorpus(t *testing.T) {
+	for _, c := range equivalenceCorpus {
+		c := c
+		t.Run(fmt.Sprintf("seed=%d/dim=%d/n=%d/k=%d", c.seed, c.dimSel, c.nSel, c.kSel), func(t *testing.T) {
+			checkEquivalence(t, c.seed, c.dimSel, c.nSel, c.kSel)
+		})
+	}
+}
+
+// tieRich builds a dataset on a coarse half-integer grid with ~20%
+// duplicated rows, so equal distances (and equal coordinates) are the
+// norm rather than the exception.
+func tieRich(rng *rand.Rand, n, dim int) *vec.Dataset {
+	d := vec.New(dim, n)
+	row := make([]float32, dim)
+	for i := 0; i < n; i++ {
+		if i > 0 && rng.Intn(5) == 0 {
+			d.Append(d.Row(rng.Intn(i)))
+			continue
+		}
+		for j := range row {
+			row[j] = float32(rng.Intn(17)-8) * 0.5
+		}
+		d.Append(row)
+	}
+	return d
+}
+
+func checkEquivalence(t *testing.T, seed int64, dimSel, nSel, kSel uint8) {
+	dim := []int{1, 3, 17, 64}[int(dimSel)%4]
+	n := []int{0, 1, 37, 1000}[int(nSel)%4]
+	k := [3]int{1, 3, n + 5}[int(kSel)%3]
+	m := metric.Euclidean{}
+	rng := rand.New(rand.NewSource(seed))
+	db := tieRich(rng, n, dim)
+
+	const nq = 12
+	queries := tieRich(rng, nq, dim)
+	if n > 0 {
+		// Plant exact self-queries: zero distances stress tie handling.
+		copy(queries.Row(0), db.Row(rng.Intn(n)))
+		copy(queries.Row(1), db.Row(rng.Intn(n)))
+	}
+
+	want := make([][]par.Neighbor, nq)
+	for i := 0; i < nq; i++ {
+		want[i] = bruteforce.SearchOneK(queries.Row(i), db, k, m, nil)
+	}
+
+	// Assemble backends. Index builds reject empty databases — that IS
+	// the n=0 contract — so only the index-free backends run there.
+	exactBits := map[string]BatchSearcher{
+		"bruteforce": NewBruteForce(db, m),
+	}
+	orderingTie := map[string]BatchSearcher{}
+	tolerant := map[string]BatchSearcher{}
+	var exactIdx *core.Exact
+	if n > 0 {
+		var err error
+		exactIdx, err = core.BuildExact(db, m, core.ExactParams{Seed: seed})
+		if err != nil {
+			t.Fatalf("BuildExact: %v", err)
+		}
+		orderingTie["exact"] = exactIdx
+		exactEE, err := core.BuildExact(db, m, core.ExactParams{Seed: seed, EarlyExit: true})
+		if err != nil {
+			t.Fatalf("BuildExact(EarlyExit): %v", err)
+		}
+		orderingTie["exact-earlyexit"] = exactEE
+		// One-shot is approximate in general, but with S = n every
+		// ownership list holds the whole database, so any probed list
+		// yields the exact answer through the same ordering-space
+		// pipeline — a configuration in which it must match bit-for-bit.
+		oneshot, err := core.BuildOneShot(db, m, core.OneShotParams{Seed: seed, S: n})
+		if err != nil {
+			t.Fatalf("BuildOneShot: %v", err)
+		}
+		exactBits["oneshot-full"] = oneshot
+	} else {
+		if _, err := core.BuildExact(db, m, core.ExactParams{Seed: seed}); err == nil {
+			t.Fatal("BuildExact accepted an empty database")
+		}
+	}
+	tolerant["kdtree"] = FromKDTree(kdtree.Build(db, 0))
+	tolerant["covertree"] = FromCoverTree(covertree.Build(db.Rows(), metric.Metric[[]float32](m)))
+
+	for name, s := range exactBits {
+		batch, _ := s.KNNBatch(queries, k)
+		for i := 0; i < nq; i++ {
+			assertBitEqual(t, fmt.Sprintf("%s query %d vs reference", name, i), batch[i], want[i])
+			one, _ := s.KNN(queries.Row(i), k)
+			assertBitEqual(t, fmt.Sprintf("%s query %d batch vs per-query", name, i), batch[i], one)
+		}
+	}
+	for name, s := range orderingTie {
+		batch, _ := s.KNNBatch(queries, k)
+		for i := 0; i < nq; i++ {
+			assertOrderingTie(t, fmt.Sprintf("%s query %d vs reference", name, i), batch[i], want[i], queries.Row(i), db, m)
+			one, _ := s.KNN(queries.Row(i), k)
+			assertBitEqual(t, fmt.Sprintf("%s query %d batch vs per-query", name, i), batch[i], one)
+		}
+	}
+	for name, s := range tolerant {
+		batch, _ := s.KNNBatch(queries, k)
+		for i := 0; i < nq; i++ {
+			assertTieEquivalent(t, fmt.Sprintf("%s query %d vs reference", name, i), batch[i], want[i])
+			one, _ := s.KNN(queries.Row(i), k)
+			assertBitEqual(t, fmt.Sprintf("%s query %d batch vs per-query", name, i), batch[i], one)
+		}
+	}
+
+	// The distributed cluster must match the single-node exact index
+	// BIT-FOR-BIT — same parameters, same reported distance bits, same
+	// ids at razor ties (the tiled shard-scan contract).
+	if n > 0 {
+		shards := 1 + int(seed&3)
+		cl, err := distributed.Build(db, m, core.ExactParams{Seed: seed}, shards, distributed.DefaultCostModel())
+		if err != nil {
+			t.Fatalf("distributed.Build: %v", err)
+		}
+		defer cl.Close()
+		got, _ := cl.KNNBatch(queries, k)
+		wantIdx, _ := exactIdx.KNNBatch(queries, k)
+		for i := 0; i < nq; i++ {
+			assertBitEqual(t, fmt.Sprintf("cluster(shards=%d) query %d vs core.Exact", shards, i), got[i], wantIdx[i])
+		}
+	}
+}
+
+func assertBitEqual(t *testing.T, label string, got, want []par.Neighbor) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d neighbors, want %d", label, len(got), len(want))
+	}
+	for p := range want {
+		if got[p] != want[p] {
+			t.Fatalf("%s pos %d: %+v want %+v (bit-for-bit)", label, p, got[p], want[p])
+		}
+	}
+}
+
+// assertOrderingTie pins the distance sequence bitwise against the
+// reference and verifies the ids: no duplicates, and every id whose
+// position disagrees with the reference must genuinely achieve its
+// position's distance (recomputed with the reference arithmetic). This
+// is the ordering-tie rule for exact pruning indexes: rule (1) can prune
+// an ownership list at exactly γ_k, so an equal-distance boundary tie
+// may legitimately surface a different member of the tie class.
+func assertOrderingTie(t *testing.T, label string, got, want []par.Neighbor, q []float32, db *vec.Dataset, m Metric) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d neighbors, want %d", label, len(got), len(want))
+	}
+	ker := metric.NewKernel(m)
+	seen := make(map[int]bool, len(got))
+	var ord [1]float64
+	for p := range want {
+		if got[p].Dist != want[p].Dist {
+			t.Fatalf("%s pos %d: dist %v, want %v (distance multiset must match bitwise)", label, p, got[p].Dist, want[p].Dist)
+		}
+		if seen[got[p].ID] {
+			t.Fatalf("%s pos %d: duplicate id %d", label, p, got[p].ID)
+		}
+		seen[got[p].ID] = true
+		if got[p].ID == want[p].ID {
+			continue
+		}
+		if got[p].ID < 0 || got[p].ID >= db.N() {
+			t.Fatalf("%s pos %d: id %d out of range", label, p, got[p].ID)
+		}
+		ker.Ordering(q, db.Row(got[p].ID), db.Dim, ord[:])
+		if d := ker.ToDistance(ord[0]); d != got[p].Dist {
+			t.Fatalf("%s pos %d: id %d is at distance %v, not the reported %v — invalid tie substitution",
+				label, p, got[p].ID, d, got[p].Dist)
+		}
+	}
+}
+
+// assertTieEquivalent applies the ordering-tie rule with tolerance:
+// distances agree within relTol position by position, and ids agree
+// exactly outside the k-boundary tie band (entries whose reference
+// distance is strictly below the k-th distance minus tolerance must
+// appear on both sides; inside the band, ulp drift may legitimately
+// reorder razor ties).
+func assertTieEquivalent(t *testing.T, label string, got, want []par.Neighbor) {
+	t.Helper()
+	const relTol = 1e-9
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d neighbors, want %d", label, len(got), len(want))
+	}
+	if len(want) == 0 {
+		return
+	}
+	tol := relTol * math.Max(1, want[len(want)-1].Dist)
+	for p := range want {
+		if math.Abs(got[p].Dist-want[p].Dist) > tol {
+			t.Fatalf("%s pos %d: dist %v, want %v (beyond tolerance %g)", label, p, got[p].Dist, want[p].Dist, tol)
+		}
+	}
+	cut := want[len(want)-1].Dist - tol
+	gotIDs := make(map[int]bool, len(got))
+	wantIDs := make(map[int]bool, len(want))
+	for _, nb := range got {
+		gotIDs[nb.ID] = true
+	}
+	for _, nb := range want {
+		wantIDs[nb.ID] = true
+	}
+	for _, nb := range want {
+		if nb.Dist < cut && !gotIDs[nb.ID] {
+			t.Fatalf("%s: unambiguous neighbor id %d (dist %v) missing", label, nb.ID, nb.Dist)
+		}
+	}
+	for _, nb := range got {
+		if nb.Dist < cut && !wantIDs[nb.ID] {
+			t.Fatalf("%s: spurious unambiguous neighbor id %d (dist %v)", label, nb.ID, nb.Dist)
+		}
+	}
+}
