@@ -47,13 +47,22 @@
 // (query, segment) pairs into per-segment taker sets and scans each
 // owned segment once for the whole block through core.GroupedScan — the
 // same adaptive tile-vs-row machinery Exact's grouped back half uses —
-// on exact-grade kernels only. The contract (spelled out in the
-// distributed package comment) is that cluster answers are bit-identical
-// both to per-query cluster calls and to the single-node Exact index
-// built with the same parameters; the fast Gram kernel grade is excluded
-// from that path because its ulp drift would break the guarantee. A
-// cross-backend equivalence fuzz harness (repro/internal/search) pins
-// all of this against the brute-force reference.
+// on exact-grade kernels only. Shard segments are sorted by
+// distance-to-representative at build (core.SortSegment, the order
+// Exact keeps its own lists in), and a cluster built with
+// ExactParams.EarlyExit extends the paper's Claim 2 admissible window to
+// the wire: each routed request ships a 16-byte [dLo, dHi] window per
+// (query, segment) — derived from the query's rep-seeded k-th candidate
+// — and the shard clips every taker's scan range to it with a binary
+// search (core.AdmissibleWindow) before the grouped scan runs, cutting
+// shard-side point evaluations without touching a single result bit.
+// The contract (spelled out in the distributed package comment) is that
+// cluster answers — windowed or not — are bit-identical to per-query
+// cluster calls and to the single-node Exact index built with the same
+// parameters; the fast Gram kernel grade is excluded from that path
+// because its ulp drift would break the guarantee. A cross-backend
+// equivalence fuzz harness (repro/internal/search) pins all of this
+// against the brute-force reference.
 //
 // # Tiled kernels and squared-distance ordering
 //

@@ -118,4 +118,30 @@ func main() {
 	fmt.Printf("\ntiled %d-NN block: %.0f queries/sec batched vs %.0f per-query (%.1fx), %d shard requests, %d point evals\n",
 		k, float64(nQueries)/batchSecs, float64(nQueries)/perSecs, perSecs/batchSecs, km.ShardsContacted, km.PointEvals)
 	fmt.Printf("batched k-NN bit-identical to per-query: %d positions diverged (expect 0)\n", divergedKNN)
+
+	// Shard-side EarlyExit windows: segments are sorted by distance to
+	// their representative at build, and each routed request ships a
+	// 16-byte admissible window per (query, segment) derived from the
+	// query's rep-seeded k-th candidate. Shards clip every scan to the
+	// window — fewer point evals, identical bits.
+	winCluster, err := distributed.Build(db, metric.Euclidean{},
+		core.ExactParams{NumReps: nr, Seed: seed, ExactCount: true, EarlyExit: true},
+		shards, distributed.DefaultCostModel())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer winCluster.Close()
+	knnWin, wm := winCluster.KNNBatch(queries, k)
+	divergedWin := 0
+	for qi := 0; qi < nQueries; qi++ {
+		for p := range knnBatch[qi] {
+			if knnWin[qi][p] != knnBatch[qi][p] {
+				divergedWin++
+			}
+		}
+	}
+	fmt.Printf("\nwindowed %d-NN block: %d point evals vs %d full-scan (%.2fx ratio), %d windows shipped (%.1f KB), %d clipped empty\n",
+		k, wm.PointEvals, km.PointEvals, float64(wm.PointEvals)/float64(km.PointEvals),
+		wm.Windows, float64(wm.Windows)*distributed.WindowBytes/1024, wm.EmptyWindows)
+	fmt.Printf("windowed answers bit-identical to full scan: %d positions diverged (expect 0)\n", divergedWin)
 }

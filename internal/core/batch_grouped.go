@@ -2,7 +2,6 @@ package core
 
 import (
 	"math"
-	"sort"
 	"sync"
 
 	"repro/internal/metric"
@@ -144,8 +143,8 @@ func (e *Exact) batchGrouped(queries *vec.Dataset, k int, sink func(i int, h *pa
 					wlo, whi := listLo, listHi
 					if e.prm.EarlyExit {
 						w := psiGamma
-						wlo += sort.SearchFloat64s(e.dists[wlo:whi], d-w)
-						whi = listLo + sort.SearchFloat64s(e.dists[listLo:whi], math.Nextafter(d+w, math.Inf(1)))
+						a, b := AdmissibleWindow(e.dists[listLo:listHi], d-w, d+w)
+						wlo, whi = listLo+a, listLo+b
 					}
 					if wlo >= whi {
 						continue

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/bruteforce"
 	"repro/internal/metric"
@@ -139,8 +138,7 @@ func BuildExact(db *vec.Dataset, m metric.Metric[[]float32], prm ExactParams) (*
 	radii := make([]float64, nr)
 	par.ForEach(nr, 8, func(j int) {
 		lo, hi := offsets[j], offsets[j+1]
-		seg := newSegSorter(ids[lo:hi], dists[lo:hi])
-		sort.Sort(seg)
+		SortSegment(ids[lo:hi], dists[lo:hi])
 		if hi > lo {
 			radii[j] = dists[hi-1]
 		}
@@ -164,13 +162,14 @@ func BuildExact(db *vec.Dataset, m metric.Metric[[]float32], prm ExactParams) (*
 }
 
 // segSorter sorts a list segment by (dist, id) without allocating pairs.
+// It is the implementation behind SortSegment (window.go) — every
+// segment-sort site goes through that single exported primitive.
 type segSorter struct {
 	ids   []int32
 	dists []float64
 }
 
-func newSegSorter(ids []int32, dists []float64) *segSorter { return &segSorter{ids, dists} }
-func (s *segSorter) Len() int                              { return len(s.ids) }
+func (s *segSorter) Len() int { return len(s.ids) }
 func (s *segSorter) Less(i, j int) bool {
 	if s.dists[i] != s.dists[j] {
 		return s.dists[i] < s.dists[j]
@@ -313,8 +312,8 @@ func (e *Exact) one(q []float32, k int, ordRow []float64, sc *par.Scratch) (*par
 		// w = γ_k (or its (1+ε)-relaxation, matching the radius rule).
 		w := psiGamma
 		if e.prm.EarlyExit {
-			lo += sort.SearchFloat64s(e.dists[lo:hi], d-w)
-			hi = e.offsets[j] + sort.SearchFloat64s(e.dists[e.offsets[j]:hi], math.Nextafter(d+w, math.Inf(1)))
+			a, b := AdmissibleWindow(e.dists[lo:hi], d-w, d+w)
+			lo, hi = lo+a, lo+b
 		}
 		for blk := lo; blk < hi; blk += len(scratch) {
 			end := blk + len(scratch)
@@ -450,8 +449,8 @@ func (e *Exact) rangeOne(q []float32, eps float64, ordRow []float64, sc *par.Scr
 		st.RepsKept++
 		lo, hi := e.offsets[j], e.offsets[j+1]
 		if e.prm.EarlyExit {
-			lo += sort.SearchFloat64s(e.dists[lo:hi], d-eps)
-			hi = e.offsets[j] + sort.SearchFloat64s(e.dists[e.offsets[j]:hi], math.Nextafter(d+eps, math.Inf(1)))
+			a, b := AdmissibleWindow(e.dists[lo:hi], d-eps, d+eps)
+			lo, hi = lo+a, lo+b
 		}
 		for blk := lo; blk < hi; blk += len(scratch) {
 			end := blk + len(scratch)

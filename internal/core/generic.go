@@ -2,7 +2,6 @@ package core
 
 import (
 	"math"
-	"sort"
 
 	"repro/internal/bruteforce"
 	"repro/internal/metric"
@@ -69,7 +68,7 @@ func BuildGenericExact[P any](db []P, m metric.Metric[P], prm ExactParams) (*Gen
 		g.dists[j] = append(g.dists[j], ownerDist[i])
 	}
 	for j := 0; j < nr; j++ {
-		sort.Sort(newSegSorter(g.lists[j], g.dists[j]))
+		SortSegment(g.lists[j], g.dists[j])
 		if len(g.dists[j]) > 0 {
 			g.radii[j] = g.dists[j][len(g.dists[j])-1]
 		}
@@ -114,8 +113,7 @@ func (g *GenericExact[P]) One(q P) (Result, Stats) {
 		list, dists := g.lists[j], g.dists[j]
 		lo, hi := 0, len(list)
 		if g.prm.EarlyExit {
-			lo = sort.SearchFloat64s(dists, d-psiGamma)
-			hi = sort.SearchFloat64s(dists, math.Nextafter(d+psiGamma, math.Inf(1)))
+			lo, hi = AdmissibleWindow(dists, d-psiGamma, d+psiGamma)
 		}
 		for i := lo; i < hi; i++ {
 			id := int(list[i])

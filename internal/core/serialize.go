@@ -26,6 +26,12 @@ type exactSnapshot struct {
 	Dists      []float64
 }
 
+// snapshotVersion 1 already persists the sorted-segment permutation (IDs
+// in per-list (dist, id) order, Dists as the position-aligned sort keys),
+// so the EarlyExit admissible windows — and any consumer of SortSegment
+// order, such as the distributed shards — round-trip without a layout
+// change. LoadExact verifies the invariant instead of re-sorting: a
+// snapshot whose Dists are not ascending within every list is corrupt.
 const snapshotVersion = 1
 
 // Save writes the index structure (not the database) to w. Indexes with
@@ -71,6 +77,30 @@ func LoadExact(r io.Reader, db *vec.Dataset, m metric.Metric[[]float32]) (*Exact
 	}
 	if len(snap.IDs) != db.N() || len(snap.Offsets) != len(snap.RepIDs)+1 {
 		return nil, fmt.Errorf("core: corrupt index structure")
+	}
+	if len(snap.Dists) != len(snap.IDs) {
+		return nil, fmt.Errorf("core: corrupt index structure: %d dists for %d ids", len(snap.Dists), len(snap.IDs))
+	}
+	// The offsets table must cover ids exactly — [0, len(IDs)] end to
+	// end — and every list segment must be ascending in (dist, id), the
+	// invariant the EarlyExit admissible window binary-searches over. A
+	// violation means the stream is corrupt (builds always satisfy both),
+	// and accepting it would make searches silently drop answers.
+	if snap.Offsets[0] != 0 || snap.Offsets[len(snap.Offsets)-1] != len(snap.IDs) {
+		return nil, fmt.Errorf("core: corrupt index structure: offsets cover [%d, %d) of %d ids",
+			snap.Offsets[0], snap.Offsets[len(snap.Offsets)-1], len(snap.IDs))
+	}
+	for j := 0; j+1 < len(snap.Offsets); j++ {
+		lo, hi := snap.Offsets[j], snap.Offsets[j+1]
+		if lo < 0 || hi < lo || hi > len(snap.IDs) {
+			return nil, fmt.Errorf("core: corrupt index structure: bad offsets [%d, %d)", lo, hi)
+		}
+		for p := lo + 1; p < hi; p++ {
+			if snap.Dists[p] < snap.Dists[p-1] ||
+				(snap.Dists[p] == snap.Dists[p-1] && snap.IDs[p] < snap.IDs[p-1]) {
+				return nil, fmt.Errorf("core: corrupt index structure: list %d not in (dist, id) order at position %d", j, p)
+			}
+		}
 	}
 	isRep := make([]bool, db.N())
 	for _, id := range snap.RepIDs {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"encoding/gob"
 	"math/rand"
 	"testing"
 
@@ -40,6 +41,147 @@ func TestExactSaveLoadRoundTrip(t *testing.T) {
 		if ka[j] != kb[j] {
 			t.Fatal("knn mismatch after load")
 		}
+	}
+}
+
+// The sorted-segment permutation must survive save/load byte for byte:
+// the EarlyExit admissible windows (and the distributed shards that
+// mirror this layout) binary-search the per-list Dists column, so a
+// loaded index must hold the identical (ids, dists, offsets) ordering —
+// not merely an equivalent one — and prune identically through the
+// windows.
+func TestExactSaveLoadPreservesSortedSegments(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	db := clusteredDataset(rng, 700, 4, 7)
+	// Duplicates create (dist, id) ties, pinning the tiebreak order too.
+	for i := 0; i < 40; i++ {
+		copy(db.Row(300+i), db.Row(i))
+	}
+	m := metric.Euclidean{}
+	e, err := BuildExact(db, m, ExactParams{Seed: 13, EarlyExit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadExact(&buf, db, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded.ids) != len(e.ids) || len(loaded.dists) != len(e.dists) || len(loaded.offsets) != len(e.offsets) {
+		t.Fatalf("structure sizes diverged after load")
+	}
+	for j := 0; j+1 < len(e.offsets); j++ {
+		if loaded.offsets[j] != e.offsets[j] {
+			t.Fatalf("offset %d: %d, want %d", j, loaded.offsets[j], e.offsets[j])
+		}
+		lo, hi := e.offsets[j], e.offsets[j+1]
+		for p := lo; p < hi; p++ {
+			if loaded.ids[p] != e.ids[p] || loaded.dists[p] != e.dists[p] {
+				t.Fatalf("list %d position %d: loaded (%d, %v), want (%d, %v)",
+					j, p, loaded.ids[p], loaded.dists[p], e.ids[p], e.dists[p])
+			}
+			if p > lo && (loaded.dists[p] < loaded.dists[p-1] ||
+				(loaded.dists[p] == loaded.dists[p-1] && loaded.ids[p] < loaded.ids[p-1])) {
+				t.Fatalf("list %d not in (dist, id) order at %d after load", j, p)
+			}
+		}
+	}
+	// Windowed searches must prune identically, not just answer
+	// identically (Stats include the window-clipped PointEvals).
+	queries := randomDataset(rng, 30, 4)
+	for i := 0; i < queries.N(); i++ {
+		a, sa := e.KNN(queries.Row(i), 6)
+		b, sb := loaded.KNN(queries.Row(i), 6)
+		if sa != sb {
+			t.Fatalf("query %d: stats diverge: %+v vs %+v", i, sa, sb)
+		}
+		for p := range a {
+			if a[p] != b[p] {
+				t.Fatalf("query %d pos %d: %+v vs %+v", i, p, a[p], b[p])
+			}
+		}
+	}
+}
+
+// A snapshot whose per-list Dists column is out of order is corrupt —
+// accepting it would make EarlyExit windows silently drop answers — and
+// so is one whose Dists length disagrees with IDs.
+func TestLoadExactRejectsCorruptSortedSegments(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	db := clusteredDataset(rng, 300, 3, 4)
+	m := metric.Euclidean{}
+	e, err := BuildExact(db, m, ExactParams{Seed: 19, EarlyExit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(mutate func(snap *exactSnapshot)) error {
+		var buf bytes.Buffer
+		if err := e.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var snap exactSnapshot
+		if err := gob.NewDecoder(&buf).Decode(&snap); err != nil {
+			t.Fatal(err)
+		}
+		mutate(&snap)
+		var out bytes.Buffer
+		if err := gob.NewEncoder(&out).Encode(&snap); err != nil {
+			t.Fatal(err)
+		}
+		_, err := LoadExact(&out, db, m)
+		return err
+	}
+	// Swap the first list's boundary members: dists fall out of order.
+	if err := corrupt(func(snap *exactSnapshot) {
+		for j := 0; j+1 < len(snap.Offsets); j++ {
+			lo, hi := snap.Offsets[j], snap.Offsets[j+1]
+			if hi-lo >= 2 && snap.Dists[lo] != snap.Dists[hi-1] {
+				snap.IDs[lo], snap.IDs[hi-1] = snap.IDs[hi-1], snap.IDs[lo]
+				snap.Dists[lo], snap.Dists[hi-1] = snap.Dists[hi-1], snap.Dists[lo]
+				return
+			}
+		}
+		t.Fatal("no list with distinct boundary dists to corrupt")
+	}); err == nil {
+		t.Fatal("unsorted list dists should be rejected")
+	}
+	// Break a (dist, id) tie order without touching the dists.
+	if err := corrupt(func(snap *exactSnapshot) {
+		for j := 0; j+1 < len(snap.Offsets); j++ {
+			lo, hi := snap.Offsets[j], snap.Offsets[j+1]
+			for p := lo + 1; p < hi; p++ {
+				if snap.Dists[p] == snap.Dists[p-1] {
+					snap.IDs[p], snap.IDs[p-1] = snap.IDs[p-1], snap.IDs[p]
+					return
+				}
+			}
+		}
+		// No tie in this build: fall back to an out-of-order dist.
+		snap.Dists[snap.Offsets[1]-1], snap.Dists[snap.Offsets[0]] =
+			snap.Dists[snap.Offsets[0]], snap.Dists[snap.Offsets[1]-1]
+	}); err == nil {
+		t.Fatal("tie-order corruption should be rejected")
+	}
+	// Dists length mismatch.
+	if err := corrupt(func(snap *exactSnapshot) {
+		snap.Dists = snap.Dists[:len(snap.Dists)-1]
+	}); err == nil {
+		t.Fatal("short Dists should be rejected")
+	}
+	// Offsets that silently truncate coverage: the final offset must land
+	// exactly on len(IDs), else trailing positions would never be scanned.
+	if err := corrupt(func(snap *exactSnapshot) {
+		snap.Offsets[len(snap.Offsets)-1]--
+	}); err == nil {
+		t.Fatal("truncated offsets coverage should be rejected")
+	}
+	if err := corrupt(func(snap *exactSnapshot) {
+		snap.Offsets[0] = 1
+	}); err == nil {
+		t.Fatal("nonzero first offset should be rejected")
 	}
 }
 

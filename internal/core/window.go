@@ -1,0 +1,52 @@
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// This file exports the two primitives behind the EarlyExit admissible
+// window (the paper's Claim 2 "sorted list" refinement) so layers above
+// core — notably the distributed shard scans — apply exactly the same
+// arithmetic as Exact's own phase-2 paths:
+//
+//   - SortSegment puts one ownership-list segment into the ascending
+//     (distance-to-representative, id) order every window computation
+//     assumes;
+//   - AdmissibleWindow converts a distance-space admissibility interval
+//     into a half-open position window over such a sorted segment.
+//
+// Keeping both exported (instead of re-implemented per layer) is what
+// makes "windowed cluster answers are bit-identical to single-node
+// Exact" a structural property rather than a numerical coincidence.
+
+// SortSegment sorts one ownership-list segment in place by ascending
+// (distance-to-representative, id). ids and dists must be position-aligned
+// and of equal length. This is the layout the EarlyExit admissible window
+// requires: with dists ascending, the set of positions admissible for a
+// query is a contiguous range found by binary search.
+func SortSegment(ids []int32, dists []float64) {
+	sort.Sort(&segSorter{ids: ids, dists: dists})
+}
+
+// AdmissibleWindow returns the half-open position window [lo, hi) of the
+// ascending distance slice repDists whose values lie in the inclusive
+// interval [dLo, dHi]. It is the binary-search step of the EarlyExit
+// refinement: for a query at distance d from a representative, only
+// members x with ρ(x,r) ∈ [d−w, d+w] can lie within w of the query (the
+// triangle inequality), so callers pass dLo = d−w, dHi = d+w and scan
+// only the returned window.
+//
+// Both boundaries are inclusive — a member exactly at dLo or dHi stays
+// admissible — which is what keeps window-clipped scans answer-preserving
+// at razor ties. An infinite interval ([-Inf, +Inf], from an unbounded
+// pruning radius) selects the whole segment; an interval beyond the
+// segment's range returns an empty window (lo == hi).
+func AdmissibleWindow(repDists []float64, dLo, dHi float64) (lo, hi int) {
+	lo = sort.SearchFloat64s(repDists, dLo)
+	hi = sort.SearchFloat64s(repDists, math.Nextafter(dHi, math.Inf(1)))
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}

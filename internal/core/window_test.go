@@ -1,0 +1,88 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestSortSegmentOrdersByDistThenID(t *testing.T) {
+	ids := []int32{9, 4, 7, 1, 3}
+	dists := []float64{2, 1, 2, 1, 0.5}
+	SortSegment(ids, dists)
+	wantIDs := []int32{3, 1, 4, 7, 9}
+	wantDists := []float64{0.5, 1, 1, 2, 2}
+	for i := range ids {
+		if ids[i] != wantIDs[i] || dists[i] != wantDists[i] {
+			t.Fatalf("pos %d: (%d, %v), want (%d, %v)", i, ids[i], dists[i], wantIDs[i], wantDists[i])
+		}
+	}
+	if !sort.Float64sAreSorted(dists) {
+		t.Fatal("dists not ascending")
+	}
+}
+
+func TestSortSegmentEmptyAndSingle(t *testing.T) {
+	SortSegment(nil, nil) // must not panic
+	ids, dists := []int32{5}, []float64{3}
+	SortSegment(ids, dists)
+	if ids[0] != 5 || dists[0] != 3 {
+		t.Fatal("single-element segment mutated")
+	}
+}
+
+func TestAdmissibleWindow(t *testing.T) {
+	dists := []float64{1, 2, 2, 3, 5, 8}
+	cases := []struct {
+		dLo, dHi float64
+		lo, hi   int
+	}{
+		{2, 3, 1, 4},                      // inclusive at both ends
+		{1.5, 4.9, 1, 4},                  // strict interior
+		{0, 0.5, 0, 0},                    // empty: below the segment
+		{9, 20, 6, 6},                     // empty: above the segment
+		{3.5, 4.5, 4, 4},                  // empty: interior gap
+		{math.Inf(-1), math.Inf(1), 0, 6}, // unbounded: whole segment
+		{1, 8, 0, 6},                      // boundary values at both extremes
+		{5, 5, 4, 5},                      // degenerate interval hitting one member
+		{4, 4, 4, 4},                      // degenerate interval missing
+		{math.Inf(-1), 2, 0, 3},           // half-unbounded low
+		{8, math.Inf(1), 5, 6},            // half-unbounded high
+		{2, math.Nextafter(2, math.Inf(-1)), 1, 1}, // inverted after rounding: empty, not negative
+	}
+	for _, c := range cases {
+		lo, hi := AdmissibleWindow(dists, c.dLo, c.dHi)
+		if lo != c.lo || hi != c.hi {
+			t.Errorf("AdmissibleWindow([%v], %v, %v) = [%d, %d), want [%d, %d)",
+				dists, c.dLo, c.dHi, lo, hi, c.lo, c.hi)
+		}
+		if hi < lo {
+			t.Errorf("window [%d, %d) is negative-length", lo, hi)
+		}
+	}
+}
+
+func TestAdmissibleWindowEmptySegment(t *testing.T) {
+	if lo, hi := AdmissibleWindow(nil, 0, 10); lo != 0 || hi != 0 {
+		t.Fatalf("empty segment: [%d, %d), want [0, 0)", lo, hi)
+	}
+}
+
+// The window must agree with a full linear scan of the inclusive
+// interval on tie-rich data — the property EarlyExit exactness rests on.
+func TestAdmissibleWindowMatchesLinearScan(t *testing.T) {
+	dists := []float64{0, 0, 1, 1, 1, 2.5, 2.5, 4, 4, 4, 4, 7}
+	for _, dLo := range []float64{-1, 0, 0.5, 1, 2.5, 4, 6, 7, 8} {
+		for _, dHi := range []float64{-1, 0, 1, 2.5, 3, 4, 7, 9} {
+			lo, hi := AdmissibleWindow(dists, dLo, dHi)
+			for p, d := range dists {
+				in := d >= dLo && d <= dHi
+				got := p >= lo && p < hi
+				if in != got {
+					t.Fatalf("interval [%v, %v]: position %d (dist %v) in-window=%v, want %v",
+						dLo, dHi, p, d, got, in)
+				}
+			}
+		}
+	}
+}

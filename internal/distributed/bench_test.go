@@ -27,23 +27,35 @@ const (
 
 var benchState struct {
 	once    sync.Once
-	cl      *Cluster
+	cl      *Cluster // full-scan shards
+	clWin   *Cluster // EarlyExit-windowed shards, same parameters otherwise
 	queries *vec.Dataset
 }
 
 func benchCluster(b *testing.B) (*Cluster, *vec.Dataset) {
+	cl, _, queries := benchClusters(b)
+	return cl, queries
+}
+
+func benchClusters(b *testing.B) (*Cluster, *Cluster, *vec.Dataset) {
 	benchState.once.Do(func() {
 		rng := rand.New(rand.NewSource(5150))
 		db := clustered(rng, benchN, benchDim, 32)
-		cl, err := Build(db, metric.Euclidean{},
-			core.ExactParams{NumReps: 200, Seed: 5153, ExactCount: true}, benchShards, DefaultCostModel())
+		prm := core.ExactParams{NumReps: 200, Seed: 5153, ExactCount: true}
+		cl, err := Build(db, metric.Euclidean{}, prm, benchShards, DefaultCostModel())
+		if err != nil {
+			panic(err)
+		}
+		prm.EarlyExit = true
+		clWin, err := Build(db, metric.Euclidean{}, prm, benchShards, DefaultCostModel())
 		if err != nil {
 			panic(err)
 		}
 		benchState.cl = cl
+		benchState.clWin = clWin
 		benchState.queries = clustered(rand.New(rand.NewSource(5157)), benchQ, benchDim, 32)
 	})
-	return benchState.cl, benchState.queries
+	return benchState.cl, benchState.clWin, benchState.queries
 }
 
 // perPairKNNBatch is the pre-tiling reference implementation: the same
@@ -97,7 +109,7 @@ func perPairKNNBatch(cl *Cluster, queries *vec.Dataset, k int) [][]par.Neighbor 
 	batches := make([]shardBatch, len(cl.shards))
 	for i := 0; i < nq; i++ {
 		for _, j := range survivors[i] {
-			batches[cl.repShard[j]].add(i, int(cl.repSeg[j]))
+			batches[cl.repShard[j]].add(i, int(cl.repSeg[j]), nil)
 		}
 	}
 	type reply struct {
@@ -147,14 +159,36 @@ func perPairKNNBatch(cl *Cluster, queries *vec.Dataset, k int) [][]par.Neighbor 
 }
 
 // BenchmarkClusterKNNBatch measures the tiled batch-and-tile shard path
-// at the acceptance configuration (n=10k, dim 64, |Q|=256).
+// at the acceptance configuration (n=10k, dim 64, |Q|=256). Alongside
+// the timing it reports the shard-side PointEvals ratio of the
+// EarlyExit-windowed cluster against this full-scan baseline — the
+// work-saved headline of the window protocol (answers are bit-identical
+// by contract, so the ratio is a pure cost number).
 func BenchmarkClusterKNNBatch(b *testing.B) {
-	cl, queries := benchCluster(b)
+	cl, clWin, queries := benchClusters(b)
+	_, full := cl.KNNBatch(queries, benchK)
+	_, win := clWin.KNNBatch(queries, benchK)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cl.KNNBatch(queries, benchK)
 	}
+	// After the loop: ResetTimer would discard metrics reported before it.
+	b.ReportMetric(float64(win.PointEvals)/float64(full.PointEvals), "windowed-pointevals-ratio")
+}
+
+// BenchmarkClusterKNNBatchWindowed drives the same block through the
+// EarlyExit-windowed shards: sorted segments plus per-(query, segment)
+// admissible windows clipping every taker's scan range.
+func BenchmarkClusterKNNBatchWindowed(b *testing.B) {
+	_, clWin, queries := benchClusters(b)
+	_, win := clWin.KNNBatch(queries, benchK)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		clWin.KNNBatch(queries, benchK)
+	}
+	b.ReportMetric(float64(win.PointEvals)/float64(benchQ), "pointevals/query")
 }
 
 // BenchmarkClusterKNNBatchPerPair is the pre-tiling per-pair baseline on

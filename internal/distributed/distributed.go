@@ -44,6 +44,37 @@
 // routing phase), mirroring how core.OneShot restricts it to probe
 // selection.
 //
+// # Shard-side admissible windows (EarlyExit)
+//
+// Building with core.ExactParams.EarlyExit brings the paper's Claim 2
+// "sorted list" refinement to the cluster. Shard segments are sorted at
+// Build by ascending distance-to-representative (core.SortSegment — the
+// same order core.Exact keeps its lists in), and each routed request
+// ships, per (query, segment) pair, an admissible window [dLo, dHi] in
+// distance-to-representative space: dLo = ρ(q,r) − w, dHi = ρ(q,r) + w,
+// where w is the true-distance form of the query's rep-seeded heap worst
+// (its current k-th candidate; +Inf while the heap is not full). By the
+// triangle inequality |ρ(q,r) − ρ(x,r)| ≤ ρ(q,x), a member outside the
+// window cannot beat that k-th candidate, so the shard clips each
+// taker's scan range to the window (core.AdmissibleWindow, a binary
+// search over the sorted segment) before handing it to core.GroupedScan
+// — the single scan hook for windowed and full scans alike.
+//
+// The protocol cost is 16 bytes per (query, segment) window — two
+// float64 bounds — accounted in QueryMetrics.Bytes and counted by
+// QueryMetrics.Windows; windows that clip to nothing shard-side are
+// reported in QueryMetrics.EmptyWindows. Windows change work done, never
+// results: both window boundaries are inclusive, the interval derives
+// from a true upper bound on the final k-th neighbor, and the arithmetic
+// (d−w, d+w, and the binary-search boundary rule) is byte-for-byte the
+// one Exact's own EarlyExit path runs — so windowed cluster answers stay
+// bit-identical to the full-scan cluster, to per-query calls, and to the
+// single-node core.Exact index. The window contract is EXACT-GRADE ONLY,
+// like the rest of the answer path: it presumes per-pair arithmetic that
+// is bit-identical to the row reference, and the fast Gram kernel grade
+// would void the window's boundary guarantees along with the rest of the
+// contract.
+//
 // Shards run as goroutines connected by channels (real concurrency), and
 // a cost model accounts for messages, bytes and simulated latency so the
 // experiments can report communication costs, as §8 calls for.
@@ -100,6 +131,14 @@ type QueryMetrics struct {
 	// Evals is RepEvals + PointEvals, kept as the total the experiments
 	// report.
 	Evals int64
+	// Windows counts per-(query, segment) admissible windows shipped with
+	// routed requests (16 bytes each; EarlyExit clusters only). Identical
+	// between the batched and the per-query path, like the eval counters.
+	Windows int64
+	// EmptyWindows counts shipped windows that clipped to no positions
+	// shard-side: the query's current k-th candidate ruled the whole
+	// sorted segment out, so the scan was skipped entirely.
+	EmptyWindows int64
 	// SimTimeUS is the modeled latency: coordinator work plus the slowest
 	// contacted shard's (transfer + scan + reply) path.
 	SimTimeUS float64
@@ -113,21 +152,24 @@ func (m *QueryMetrics) Add(o QueryMetrics) {
 	m.RepEvals += o.RepEvals
 	m.PointEvals += o.PointEvals
 	m.Evals += o.Evals
+	m.Windows += o.Windows
+	m.EmptyWindows += o.EmptyWindows
 	m.SimTimeUS += o.SimTimeUS
 }
 
 // shard owns a contiguous group of representatives and their gathered
 // ownership lists.
 type shard struct {
-	id      int
-	dim     int
-	ker     *metric.Kernel // exact grade — see the package comment
-	reqs    chan shardRequest
-	repIDs  []int32   // global database ids of owned representatives
-	offsets []int     // per-owned-rep segment offsets into ids/gather
-	ids     []int32   // member database ids (gathered layout)
-	isRep   []bool    // position → member is itself a representative
-	gather  []float32 // member vectors
+	id       int
+	dim      int
+	ker      *metric.Kernel // exact grade — see the package comment
+	reqs     chan shardRequest
+	repIDs   []int32   // global database ids of owned representatives
+	offsets  []int     // per-owned-rep segment offsets into ids/gather
+	ids      []int32   // member database ids (gathered layout)
+	isRep    []bool    // position → member is itself a representative
+	gather   []float32 // member vectors
+	segDists []float64 // position → ρ(member, owning rep); ascending per segment
 }
 
 // shardRequest carries one block of queries: qs holds len(segs) packed
@@ -135,13 +177,18 @@ type shard struct {
 // query must scan. bounds optionally carries, per query, the
 // coordinator's current k-th candidate ordering (the rep-seeded heap's
 // worst): candidates strictly beyond it cannot enter the merged result
-// and are dropped shard-side. includeReps admits representative
-// positions into the scan's results (broadcast mode); routed searches
-// leave it false because the coordinator seeds every representative
-// itself.
+// and are dropped shard-side. wins, present on EarlyExit clusters,
+// carries per query the admissible window [dLo, dHi] of each of its
+// segments (two float64s per entry of segs[qi], in
+// distance-to-representative space); the shard clips each taker's scan
+// range to its window through the sorted segment. includeReps admits
+// representative positions into the scan's results (broadcast mode);
+// routed searches leave it false because the coordinator seeds every
+// representative itself.
 type shardRequest struct {
 	qs          []float32
 	segs        [][]int
+	wins        [][]float64
 	bounds      []float64
 	k           int
 	includeReps bool
@@ -151,9 +198,10 @@ type shardRequest struct {
 // shardReply carries per-query candidate sets in ORDERING space; the
 // coordinator converts to true distances at the API boundary.
 type shardReply struct {
-	sid   int
-	knn   [][]par.Neighbor // per query: up to k nearest candidates
-	evals int64
+	sid       int
+	knn       [][]par.Neighbor // per query: up to k nearest candidates
+	evals     int64
+	emptyWins int64 // windows that clipped to no admissible positions
 }
 
 func (s *shard) serve() {
@@ -165,10 +213,14 @@ func (s *shard) serve() {
 // scan answers one batched request: it inverts the request's
 // (query, segment) pairs into per-segment taker sets (one counting
 // sort), then scans each segment once for all its takers through
-// core.GroupedScan. Representatives are excluded unless includeReps is
-// set, because the coordinator seeds every representative as a candidate
-// (their distances are already paid for in phase 1); scanning them again
-// would duplicate ids in the merged result set.
+// core.GroupedScan. On windowed requests each taker's range is first
+// clipped to its admissible window through the segment's sorted
+// distance-to-representative column (core.AdmissibleWindow), so the
+// grouped scan only touches positions that can still beat the query's
+// current k-th candidate. Representatives are excluded unless
+// includeReps is set, because the coordinator seeds every representative
+// as a candidate (their distances are already paid for in phase 1);
+// scanning them again would duplicate ids in the merged result set.
 func (s *shard) scan(req shardRequest) shardReply {
 	nq := len(req.segs)
 	rep := shardReply{sid: s.id, knn: make([][]par.Neighbor, nq)}
@@ -180,7 +232,8 @@ func (s *shard) scan(req shardRequest) shardReply {
 	heaps := sc.HeapSlab(nq, req.k)
 
 	// Invert query → segments into segment → takers with a counting sort
-	// so each segment is visited once per block.
+	// so each segment is visited once per block. Windowed requests carry
+	// the takers' window bounds along through the same inversion.
 	counts := sc.Ints(4, nseg+1)
 	for j := range counts {
 		counts[j] = 0
@@ -196,9 +249,18 @@ func (s *shard) scan(req shardRequest) shardReply {
 		counts[j+1] += counts[j]
 	}
 	takerFlat := sc.Ints(5, total)
+	var winFlat []float64
+	if req.wins != nil {
+		winFlat = sc.Float64(0, 2*total)
+	}
 	for qi, segs := range req.segs {
-		for _, seg := range segs {
-			takerFlat[counts[seg]] = qi
+		for si, seg := range segs {
+			pos := counts[seg]
+			takerFlat[pos] = qi
+			if winFlat != nil {
+				winFlat[2*pos] = req.wins[qi][2*si]
+				winFlat[2*pos+1] = req.wins[qi][2*si+1]
+			}
 			counts[seg]++
 		}
 	}
@@ -224,16 +286,46 @@ func (s *shard) scan(req shardRequest) shardReply {
 	}
 	start := 0
 	for j := 0; j < nseg; j++ {
-		end := counts[j]
-		takers = takerFlat[start:end]
+		segStart, end := start, counts[j]
+		takers = takerFlat[segStart:end]
 		start = end
 		lo, hi := s.offsets[j], s.offsets[j+1]
 		if len(takers) == 0 || lo == hi {
+			if winFlat != nil && lo == hi {
+				// Windows shipped for a zero-length segment (duplicate
+				// representative) clip to nothing by definition; count
+				// them so EmptyWindows means every shipped-but-futile
+				// window, not just the binary-search misses below.
+				rep.emptyWins += int64(len(takers))
+			}
 			continue // unrequested or empty segment
 		}
 		tWin := sc.Ints(1, 2*len(takers))
-		for t := range takers {
-			tWin[2*t], tWin[2*t+1] = lo, hi
+		if winFlat == nil {
+			for t := range takers {
+				tWin[2*t], tWin[2*t+1] = lo, hi
+			}
+		} else {
+			// Clip each taker to its admissible window; takers whose
+			// window is empty are dropped here, so a segment every taker
+			// rules out costs nothing beyond the binary searches.
+			kept := sc.Ints(0, len(takers))
+			nKept := 0
+			for t := range takers {
+				a, b := core.AdmissibleWindow(s.segDists[lo:hi],
+					winFlat[2*(segStart+t)], winFlat[2*(segStart+t)+1])
+				if a >= b {
+					rep.emptyWins++
+					continue
+				}
+				kept[nKept] = takers[t]
+				tWin[2*nKept], tWin[2*nKept+1] = lo+a, lo+b
+				nKept++
+			}
+			if nKept == 0 {
+				continue
+			}
+			takers = kept[:nKept]
 		}
 		rep.evals += core.GroupedScan(s.ker, req.qs, s.dim, s.gather,
 			takers, tWin, len(takers), sc, ts, push)
@@ -252,6 +344,10 @@ type Cluster struct {
 	cost   CostModel
 	shards []*shard
 
+	// windowed enables the shard-side EarlyExit windows (set by Build
+	// from core.ExactParams.EarlyExit; see the package comment).
+	windowed bool
+
 	// Coordinator state: the full representative set with radii, plus the
 	// routing table rep → (shard, segment).
 	repData  *vec.Dataset
@@ -266,10 +362,21 @@ type Cluster struct {
 
 // Build constructs a cluster of `shards` shards over db. It builds a
 // standard exact RBC and deals representatives round-robin (by descending
-// list size, largest first) so shard loads balance.
+// list size, largest first) so shard loads balance. With prm.EarlyExit
+// set, routed queries additionally ship per-(query, segment) admissible
+// windows and shards clip their scans to them (see the package comment);
+// answers are bit-identical either way.
 func Build(db *vec.Dataset, m metric.Metric[[]float32], prm core.ExactParams, shards int, cost CostModel) (*Cluster, error) {
 	if shards <= 0 {
 		return nil, fmt.Errorf("distributed: need at least one shard, got %d", shards)
+	}
+	if prm.ApproxEps > 0 {
+		// The cluster's pruning and windows are exact-only: they use the
+		// unrelaxed γ_k, so a (1+ε)-approximate build would silently do
+		// more work than — and return different bits from — the
+		// single-node Exact index with the same parameters, breaking the
+		// bit-identity contract the package documents.
+		return nil, fmt.Errorf("distributed: ApproxEps %v not supported; the cluster serves exact answers only", prm.ApproxEps)
 	}
 	idx, err := core.BuildExact(db, m, prm)
 	if err != nil {
@@ -278,6 +385,7 @@ func Build(db *vec.Dataset, m metric.Metric[[]float32], prm core.ExactParams, sh
 	nr := idx.NumReps()
 	c := &Cluster{
 		m: m, ker: metric.NewKernel(m), dim: db.Dim, cost: cost,
+		windowed: prm.EarlyExit,
 		repData:  db.Subset(idx.RepIDs()),
 		repIDs:   idx.RepIDs(),
 		radii:    idx.Radii(),
@@ -310,8 +418,13 @@ func Build(db *vec.Dataset, m metric.Metric[[]float32], prm core.ExactParams, sh
 	}
 	// Materialize shards from the index's own point-to-representative
 	// assignment, so shard segments hold exactly the lists the radii were
-	// computed over.
-	members := assignment(db, c.repData, m)
+	// computed over. Each segment is sorted by ascending
+	// (distance-to-representative, id) — the same order core.Exact keeps
+	// its lists in — which is what makes the admissible windows a binary
+	// search shard-side. Sorting is unconditional (full scans are
+	// insertion-order independent through the bounded heaps), so windowed
+	// and full-scan clusters hold byte-identical segment layouts.
+	members, memberDists := assignment(db, c.repData, m)
 	for sid := 0; sid < shards; sid++ {
 		sh := &shard{id: sid, dim: db.Dim, ker: c.ker, reqs: make(chan shardRequest, 16)}
 		sh.offsets = append(sh.offsets, 0)
@@ -319,12 +432,21 @@ func Build(db *vec.Dataset, m metric.Metric[[]float32], prm core.ExactParams, sh
 			c.repShard[rep] = int32(sid)
 			c.repSeg[rep] = int32(seg)
 			sh.repIDs = append(sh.repIDs, int32(c.repIDs[rep]))
-			for _, id := range members[rep] {
-				sh.ids = append(sh.ids, id)
+			segLo := len(sh.ids)
+			sh.ids = append(sh.ids, members[rep]...)
+			sh.segDists = append(sh.segDists, memberDists[rep]...)
+			core.SortSegment(sh.ids[segLo:], sh.segDists[segLo:])
+			for _, id := range sh.ids[segLo:] {
 				sh.isRep = append(sh.isRep, isRepID[id])
 				sh.gather = append(sh.gather, db.Row(int(id))...)
 			}
 			sh.offsets = append(sh.offsets, len(sh.ids))
+		}
+		if !c.windowed {
+			// The sort keys are only read back by the windowed clip; a
+			// full-scan cluster ships no windows, so drop them rather
+			// than carry 8 dead bytes per point for the cluster's life.
+			sh.segDists = nil
 		}
 		c.shards = append(c.shards, sh)
 		go sh.serve()
@@ -335,13 +457,17 @@ func Build(db *vec.Dataset, m metric.Metric[[]float32], prm core.ExactParams, sh
 // assignment recomputes each database point's owning representative with
 // the same tiled BF(X,R) call BuildExact uses, so membership (including
 // razor-tie assignments) is bit-identical to the index's own lists and
-// the coordinator's radii bound every shard segment correctly.
-func assignment(db, repData *vec.Dataset, m metric.Metric[[]float32]) [][]int32 {
+// the coordinator's radii bound every shard segment correctly. The
+// returned distances are the same BF(X,R) values (true-distance form),
+// reused as the segments' sort keys and window search column.
+func assignment(db, repData *vec.Dataset, m metric.Metric[[]float32]) ([][]int32, [][]float64) {
 	members := make([][]int32, repData.N())
+	dists := make([][]float64, repData.N())
 	for i, r := range bruteforce.Search(db, repData, m, nil) {
 		members[r.ID] = append(members[r.ID], int32(i))
+		dists[r.ID] = append(dists[r.ID], r.Dist)
 	}
-	return members
+	return members, dists
 }
 
 // NumShards reports the cluster size.
@@ -360,21 +486,39 @@ const float32Bytes = 4
 const resultBytes = 16 // id + distance + framing
 const boundBytes = 8   // per-query pruning bound shipped with routed requests
 
+// WindowBytes is the wire size of one per-(query, segment) admissible
+// window — two float64 bounds. QueryMetrics.Bytes accounts
+// QueryMetrics.Windows × WindowBytes of window traffic; consumers
+// reporting window overhead should derive from this constant.
+const WindowBytes = 16
+
 // shardBatch accumulates one shard's slice of a query block: which
-// global queries it serves and, per query, which segments to scan.
+// global queries it serves, per query which segments to scan, and — on
+// windowed clusters — each segment's admissible window (two float64s per
+// entry of segs, aligned pairwise).
 type shardBatch struct {
 	qidx []int
 	segs [][]int
+	wins [][]float64
 }
 
 // add appends segment seg of query qi (queries arrive in ascending
-// order, so the last entry check suffices).
-func (sb *shardBatch) add(qi, seg int) {
+// order, so the last entry check suffices). win is nil for full scans,
+// or the segment's two-element [dLo, dHi] admissible window; a batch
+// must be fed uniformly (all-nil or all-windowed).
+func (sb *shardBatch) add(qi, seg int, win []float64) {
 	if n := len(sb.qidx); n == 0 || sb.qidx[n-1] != qi {
 		sb.qidx = append(sb.qidx, qi)
 		sb.segs = append(sb.segs, nil)
+		if win != nil {
+			sb.wins = append(sb.wins, nil)
+		}
 	}
-	sb.segs[len(sb.segs)-1] = append(sb.segs[len(sb.segs)-1], seg)
+	last := len(sb.segs) - 1
+	sb.segs[last] = append(sb.segs[last], seg)
+	if win != nil {
+		sb.wins[last] = append(sb.wins[last], win[0], win[1])
+	}
 }
 
 // Query answers one query with RBC routing: the coordinator prunes
@@ -450,13 +594,21 @@ func (c *Cluster) KNNBatch(queries *vec.Dataset, k int) ([][]par.Neighbor, Query
 // survivor → (shard, segment) routing table. It returns the per-query
 // candidate heaps (ordering space), the per-query shard-side pruning
 // bound (the seeded heap's worst ordering, +Inf while not full), and the
-// per-shard batches.
+// per-shard batches. On windowed clusters each surviving segment also
+// gets its admissible window [ρ(q,r)−w, ρ(q,r)+w] attached, with w the
+// true-distance form of the seeded heap's worst — exactly the d±w
+// arithmetic Exact's EarlyExit path runs, so shard-side windows clip the
+// same admissible sets the single-node index scans.
 func (c *Cluster) plan(queries *vec.Dataset, k int, met *QueryMetrics) ([]*par.KHeap, []float64, []shardBatch) {
 	nq := queries.N()
 	nr := c.repData.N()
 	heaps := make([]*par.KHeap, nq)
 	bounds := make([]float64, nq)
 	survivors := make([][]int32, nq)
+	var survWins [][]float64
+	if c.windowed {
+		survWins = make([][]float64, nq)
+	}
 	kk := k
 	if kk > nr {
 		kk = nr
@@ -487,7 +639,12 @@ func (c *Cluster) plan(queries *vec.Dataset, k int, met *QueryMetrics) ([]*par.K
 			if w, full := h.Worst(); full {
 				bounds[qi] = w
 			}
+			winW := math.Inf(1)
+			if c.windowed && !math.IsInf(bounds[qi], 1) {
+				winW = c.ker.ToDistance(bounds[qi])
+			}
 			var surv []int32
+			var wins []float64
 			for j := 0; j < nr; j++ {
 				if dists[j] >= gammaK+c.radii[j] {
 					continue
@@ -496,16 +653,26 @@ func (c *Cluster) plan(queries *vec.Dataset, k int, met *QueryMetrics) ([]*par.K
 					continue
 				}
 				surv = append(surv, int32(j))
+				if c.windowed {
+					wins = append(wins, dists[j]-winW, dists[j]+winW)
+				}
 			}
 			survivors[qi] = surv
+			if c.windowed {
+				survWins[qi] = wins
+			}
 			return core.Stats{RepEvals: int64(nr)}
 		})
 	met.RepEvals += st.RepEvals
 	met.Evals += st.RepEvals
 	batches := make([]shardBatch, len(c.shards))
 	for i := 0; i < nq; i++ {
-		for _, j := range survivors[i] {
-			batches[c.repShard[j]].add(i, int(c.repSeg[j]))
+		for si, j := range survivors[i] {
+			var win []float64
+			if survWins != nil {
+				win = survWins[i][2*si : 2*si+2]
+			}
+			batches[c.repShard[j]].add(i, int(c.repSeg[j]), win)
 		}
 	}
 	return heaps, bounds, batches
@@ -534,7 +701,7 @@ func (c *Cluster) QueryBroadcast(q []float32) (core.Result, QueryMetrics) {
 	batches := make([]shardBatch, len(c.shards))
 	for sid, sh := range c.shards {
 		for seg := 0; seg < len(sh.offsets)-1; seg++ {
-			batches[sid].add(0, seg)
+			batches[sid].add(0, seg, nil)
 		}
 	}
 	queries := vec.FromFlat(q, len(q))
@@ -557,8 +724,9 @@ func (c *Cluster) QueryBroadcast(q []float32) (core.Result, QueryMetrics) {
 // finish fans a query block out to the shards with work, merges answers
 // through sink and fills in the cost model. Per contacted shard it
 // accounts one request and one response message, the packed query
-// vectors (plus pruning bounds, when routed) out and k results per query
-// back.
+// vectors (plus pruning bounds and — on windowed clusters — the
+// per-(query, segment) admissible windows, 16 bytes each) out and k
+// results per query back.
 func (c *Cluster) finish(queries *vec.Dataset, k int, batches []shardBatch, bounds []float64, includeReps bool, met *QueryMetrics, sink func(rp shardReply, qidx []int)) {
 	reply := make(chan shardReply, len(batches))
 	queryBytes := c.dim*float32Bytes + 16
@@ -583,9 +751,17 @@ func (c *Cluster) finish(queries *vec.Dataset, k int, batches []shardBatch, boun
 				bs[t] = bounds[qi]
 			}
 		}
-		c.shards[sid].reqs <- shardRequest{qs: qs, segs: sb.segs, bounds: bs, k: k, includeReps: includeReps, reply: reply}
+		c.shards[sid].reqs <- shardRequest{qs: qs, segs: sb.segs, wins: sb.wins, bounds: bs, k: k, includeReps: includeReps, reply: reply}
 		contacted++
 		shardBytes[sid] = len(sb.qidx) * (queryBytes + k*resultBytes)
+		if sb.wins != nil {
+			nwins := 0
+			for _, w := range sb.wins {
+				nwins += len(w) / 2
+			}
+			shardBytes[sid] += nwins * WindowBytes
+			met.Windows += int64(nwins)
+		}
 		met.ShardsContacted++
 		met.Messages += 2 // request + response
 		met.Bytes += shardBytes[sid]
@@ -595,6 +771,7 @@ func (c *Cluster) finish(queries *vec.Dataset, k int, batches []shardBatch, boun
 		rp := <-reply
 		met.PointEvals += rp.evals
 		met.Evals += rp.evals
+		met.EmptyWindows += rp.emptyWins
 		sink(rp, batches[rp.sid].qidx)
 		// Per-shard critical path: request latency + transfer + scan +
 		// response latency. The slowest contacted shard dominates.

@@ -42,6 +42,11 @@ func TestBuildValidation(t *testing.T) {
 	if _, err := Build(&empty, metric.Euclidean{}, core.ExactParams{}, 2, DefaultCostModel()); err == nil {
 		t.Fatal("empty db should error")
 	}
+	// The cluster is exact-only: the (1+ε)-approximate mode would break
+	// the bit-identity contract with the single-node index.
+	if _, err := Build(db, metric.Euclidean{}, core.ExactParams{ApproxEps: 0.5}, 2, DefaultCostModel()); err == nil {
+		t.Fatal("ApproxEps > 0 should error")
+	}
 }
 
 func TestRoutedQueryIsExact(t *testing.T) {

@@ -15,11 +15,18 @@ import (
 // for the -race CI job: many goroutines interleave KNNBatch, QueryBatch
 // and per-query calls against one cluster, and every result must stay
 // bit-identical to a single-threaded reference — concurrency must not
-// leak scratch state between requests.
+// leak scratch state between requests. Runs against both the full-scan
+// and the windowed (EarlyExit) cluster, whose per-request window buffers
+// ride the same pooled scratch.
 func TestConcurrentBatchCallers(t *testing.T) {
+	t.Run("full-scan", func(t *testing.T) { runConcurrentBatchCallers(t, false) })
+	t.Run("windowed", func(t *testing.T) { runConcurrentBatchCallers(t, true) })
+}
+
+func runConcurrentBatchCallers(t *testing.T, earlyExit bool) {
 	rng := rand.New(rand.NewSource(211))
 	db := clustered(rng, 1500, 6, 8)
-	cl, err := Build(db, metric.Euclidean{}, core.ExactParams{Seed: 223}, 5, DefaultCostModel())
+	cl, err := Build(db, metric.Euclidean{}, core.ExactParams{Seed: 223, EarlyExit: earlyExit}, 5, DefaultCostModel())
 	if err != nil {
 		t.Fatal(err)
 	}

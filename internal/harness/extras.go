@@ -209,6 +209,56 @@ func RunDistBatch(cfg Config) (*Output, error) {
 	return &Output{Tables: []*stats.Table{t}}, nil
 }
 
+// RunDistWindow measures the shard-side EarlyExit windows: the same
+// routed k-NN block workload on a full-scan cluster versus one whose
+// segments are sorted and whose requests ship per-(query, segment)
+// admissible windows. Answers are bit-identical by the window contract
+// (verified here per block), so the table is a pure cost comparison:
+// shard PointEvals saved against the 16-byte-per-window protocol
+// overhead.
+func RunDistWindow(cfg Config) (*Output, error) {
+	cfg = cfg.withDefaults()
+	e, err := dataset.ByName("robot")
+	if err != nil {
+		return nil, err
+	}
+	db, queries := workload(e, cfg, 0)
+	nr := int(cfg.RepFactor * math.Sqrt(float64(db.N())))
+	const shards = 8
+	prm := core.ExactParams{NumReps: nr, Seed: cfg.Seed, ExactCount: true}
+	full, err := distributed.Build(db, euclid, prm, shards, distributed.DefaultCostModel())
+	if err != nil {
+		return nil, err
+	}
+	defer full.Close()
+	prm.EarlyExit = true
+	win, err := distributed.Build(db, euclid, prm, shards, distributed.DefaultCostModel())
+	if err != nil {
+		return nil, err
+	}
+	defer win.Close()
+	t := stats.NewTable(
+		fmt.Sprintf("Distributed EarlyExit windows (robot, n=%d, %d shards): full scan vs windowed", db.N(), shards),
+		"k", "mode", "point evals/query", "evals ratio", "window KB/query", "empty windows/query")
+	q := float64(queries.N())
+	for _, k := range []int{1, 10} {
+		fres, fm := full.KNNBatch(queries, k)
+		wres, wm := win.KNNBatch(queries, k)
+		for i := range fres {
+			for p := range fres[i] {
+				if fres[i][p] != wres[i][p] {
+					return nil, fmt.Errorf("dist-window: windowed answer diverged at query %d pos %d", i, p)
+				}
+			}
+		}
+		t.AddRow(k, "full-scan", float64(fm.PointEvals)/q, 1.0, 0.0, 0.0)
+		t.AddRow(k, "windowed", float64(wm.PointEvals)/q,
+			float64(wm.PointEvals)/float64(fm.PointEvals),
+			float64(wm.Windows)*distributed.WindowBytes/q/1024, float64(wm.EmptyWindows)/q)
+	}
+	return &Output{Tables: []*stats.Table{t}}, nil
+}
+
 // RunBaselines compares every implemented search structure on one low-
 // and one higher-dimensional workload — quantifying §7.1's remark that
 // "in very low-dimensional spaces, basic data structures like kd-trees

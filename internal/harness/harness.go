@@ -116,6 +116,9 @@ func Registry() []Experiment {
 		{ID: "dist-batch", Title: "Extension (§8): tiled batched shard scans",
 			Description: "distributed k-NN per-query vs block fan-out (throughput + message amortization)",
 			Run:         RunDistBatch},
+		{ID: "dist-window", Title: "Extension (§8): shard-side EarlyExit windows",
+			Description: "sorted shard segments + per-(query, segment) admissible windows: PointEvals saved vs protocol bytes",
+			Run:         RunDistWindow},
 		{ID: "gpu-divergence", Title: "Extension: SIMT divergence ablation",
 			Description: "why conditional tree search under-utilizes vector hardware (§3)",
 			Run:         RunGPUDivergence},

@@ -15,7 +15,10 @@ import "sync"
 // list-scan block), 3–4 and 6 to the batched front half (rows, tile,
 // query norms). core.GroupedScan reserves float64 slot 7, float32 slot 0
 // and int slots 2–3 for its block bookkeeping; grouped-scan callers own
-// int slots 0–1 (taker ids, taker windows) and 4–5 (segment grouping).
+// int slots 0–1 (taker ids, taker windows) and 4–5 (segment grouping),
+// plus float64 slot 0 for per-taker window bounds that must stay live
+// across GroupedScan calls (free in that context: the per-query back
+// half that otherwise owns it never runs inside a grouped scan).
 type Scratch struct {
 	f64   [8][]float64
 	f32   [2][]float32

@@ -26,8 +26,11 @@ import (
 //   - BIT-FOR-BIT (same ids, same distance bits, same order): every
 //     backend's KNNBatch against its own per-query KNN; bruteforce and
 //     OneShot-at-S=n against the reference (their scans see every point,
-//     so (dist, id) selection is total); and the distributed cluster
-//     against the single-node core.Exact built with the same parameters.
+//     so (dist, id) selection is total); the distributed cluster against
+//     the single-node core.Exact built with the same parameters; and the
+//     EarlyExit-windowed cluster against the full-scan cluster and
+//     against core.Exact{EarlyExit: true} (windows change work done,
+//     never results — the shard-side window contract).
 //   - ORDERING-TIE RULE (distance bits pinned position by position, ids
 //     free within an equal-distance class but verified to achieve the
 //     class distance, no duplicates): the pruning RBC indexes against
@@ -62,6 +65,15 @@ var equivalenceCorpus = []struct {
 	{12, 1, 3, 1},
 	{13, 2, 0, 1},
 	{14, 3, 2, 2},
+	// Seeds 15–20 joined with the EarlyExit-windowed cluster configs:
+	// they re-cover the selector grid now that every entry also checks
+	// windowed-vs-full-scan and windowed-vs-Exact{EarlyExit} bit equality.
+	{15, 0, 2, 1},
+	{16, 1, 2, 2},
+	{17, 2, 3, 0},
+	{18, 3, 3, 2},
+	{19, 2, 2, 1},
+	{20, 1, 1, 0},
 }
 
 func FuzzSearchEquivalence(f *testing.F) {
@@ -131,7 +143,7 @@ func checkEquivalence(t *testing.T, seed int64, dimSel, nSel, kSel uint8) {
 	}
 	orderingTie := map[string]BatchSearcher{}
 	tolerant := map[string]BatchSearcher{}
-	var exactIdx *core.Exact
+	var exactIdx, exactEE *core.Exact
 	if n > 0 {
 		var err error
 		exactIdx, err = core.BuildExact(db, m, core.ExactParams{Seed: seed})
@@ -139,7 +151,7 @@ func checkEquivalence(t *testing.T, seed int64, dimSel, nSel, kSel uint8) {
 			t.Fatalf("BuildExact: %v", err)
 		}
 		orderingTie["exact"] = exactIdx
-		exactEE, err := core.BuildExact(db, m, core.ExactParams{Seed: seed, EarlyExit: true})
+		exactEE, err = core.BuildExact(db, m, core.ExactParams{Seed: seed, EarlyExit: true})
 		if err != nil {
 			t.Fatalf("BuildExact(EarlyExit): %v", err)
 		}
@@ -188,7 +200,10 @@ func checkEquivalence(t *testing.T, seed int64, dimSel, nSel, kSel uint8) {
 
 	// The distributed cluster must match the single-node exact index
 	// BIT-FOR-BIT — same parameters, same reported distance bits, same
-	// ids at razor ties (the tiled shard-scan contract).
+	// ids at razor ties (the tiled shard-scan contract). The
+	// EarlyExit-windowed cluster must additionally match the full-scan
+	// cluster and core.Exact{EarlyExit: true}: its per-(query, segment)
+	// admissible windows clip work, never answers.
 	if n > 0 {
 		shards := 1 + int(seed&3)
 		cl, err := distributed.Build(db, m, core.ExactParams{Seed: seed}, shards, distributed.DefaultCostModel())
@@ -196,10 +211,27 @@ func checkEquivalence(t *testing.T, seed int64, dimSel, nSel, kSel uint8) {
 			t.Fatalf("distributed.Build: %v", err)
 		}
 		defer cl.Close()
-		got, _ := cl.KNNBatch(queries, k)
+		got, mFull := cl.KNNBatch(queries, k)
 		wantIdx, _ := exactIdx.KNNBatch(queries, k)
 		for i := 0; i < nq; i++ {
 			assertBitEqual(t, fmt.Sprintf("cluster(shards=%d) query %d vs core.Exact", shards, i), got[i], wantIdx[i])
+		}
+
+		clWin, err := distributed.Build(db, m, core.ExactParams{Seed: seed, EarlyExit: true}, shards, distributed.DefaultCostModel())
+		if err != nil {
+			t.Fatalf("distributed.Build(EarlyExit): %v", err)
+		}
+		defer clWin.Close()
+		gotWin, mWin := clWin.KNNBatch(queries, k)
+		wantEE, _ := exactEE.KNNBatch(queries, k)
+		for i := 0; i < nq; i++ {
+			assertBitEqual(t, fmt.Sprintf("windowed cluster(shards=%d) query %d vs full-scan cluster", shards, i), gotWin[i], got[i])
+			assertBitEqual(t, fmt.Sprintf("windowed cluster(shards=%d) query %d vs core.Exact(EarlyExit)", shards, i), gotWin[i], wantEE[i])
+			one, _ := clWin.KNN(queries.Row(i), k)
+			assertBitEqual(t, fmt.Sprintf("windowed cluster(shards=%d) query %d batch vs per-query", shards, i), gotWin[i], one)
+		}
+		if mWin.PointEvals > mFull.PointEvals {
+			t.Fatalf("windowed cluster PointEvals %d exceed full-scan %d (eval monotonicity)", mWin.PointEvals, mFull.PointEvals)
 		}
 	}
 }
