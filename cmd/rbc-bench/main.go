@@ -39,6 +39,7 @@ func main() {
 		queries  = flag.Int("queries", 200, "queries per experiment")
 		seed     = flag.Int64("seed", 20120501, "random seed")
 		repFac   = flag.Float64("repfactor", 2, "n_r multiplier on sqrt(n) for exact search")
+		kernel   = flag.String("kernel", "exact", "kernel grade for approximate-tolerant paths: exact, fast, or chunked (timed BF baselines, one-shot probe selection, LSH rescoring; exact answers stay exact)")
 		outDir   = flag.String("out", "", "directory for .txt/.csv outputs (optional)")
 		listOnly = flag.Bool("list", false, "list experiments and exit")
 
@@ -71,7 +72,11 @@ func main() {
 		return
 	}
 
-	cfg := harness.Config{Scale: *scale, Queries: *queries, Seed: *seed, RepFactor: *repFac}
+	cfg := harness.Config{Scale: *scale, Queries: *queries, Seed: *seed, RepFactor: *repFac, Kernel: *kernel}
+	if _, err := cfg.Grade(); err != nil {
+		fmt.Fprintf(os.Stderr, "rbc-bench: %v\n", err)
+		os.Exit(2)
+	}
 	ids := selectExperiments(*expFlag)
 	if len(ids) == 0 {
 		fmt.Fprintln(os.Stderr, "rbc-bench: no experiments selected")

@@ -76,24 +76,36 @@
 // monotone, ordering, top-k selection and tie-breaking (toward lower ids)
 // are unaffected.
 //
-// Two kernel grades exist. The builds and the Exact query paths
-// (BuildExact, BuildOneShot, Exact.One/KNN/Search/SearchK/Range, and
+// Three kernel grades exist (see repro/internal/metric for the full
+// contracts). The builds and the Exact query paths (BuildExact,
+// BuildOneShot, Exact.One/KNN/Search/SearchK/Range, and
 // bruteforce.Search/SearchK) use exact kernels whose per-pair arithmetic
 // is bit-identical to the per-query reference — results are reproducible
 // down to the last bit, ties included, for any tiling or batch shape.
 // (One caveat against pre-ordering-space code: when two *distinct*
 // squared distances round to the same sqrt, a post-sqrt comparison saw a
 // tie where ordering space sees a strict order and returns the strictly
-// nearer point.) BruteForce and BruteForceK use the
-// fastest kernels — the Gram decomposition ‖q−x‖² = ‖q‖²+‖x‖²−2·q·x over
-// precomputed squared norms for Euclidean — which reassociate the
-// summation and may differ from the reference in the trailing ulps of the
-// distance, never in the handling of exact ties. OneShot sits between the
-// two: its probe-selection phase runs on the Gram kernel against norms
-// cached in the index (so which ownership list is scanned can flip at
-// near-ties inside that ulp noise — within the algorithm's probabilistic
-// contract), while the list scans that produce the reported distances use
-// the exact kernel.
+// nearer point.) BruteForce and BruteForceK use the Gram-fast kernels —
+// the Gram decomposition ‖q−x‖² = ‖q‖²+‖x‖²−2·q·x over precomputed
+// squared norms for Euclidean — which reassociate the summation and may
+// differ from the reference in the trailing ulps of the distance, never
+// in the handling of exact ties. The chunked-fast grade
+// (metric.NewChunkedKernel) goes further: its inner loop runs entirely
+// in float32, accumulating at most 2^11 products before folding into a
+// float64 total, so it is conversion-free and vectorizable — roughly
+// twice the row-scan throughput — at the price of a bounded RELATIVE
+// error (metric.ChunkedErrorBound, ~1e-5 at the chunk size) on every
+// distance. It is admitted only where approximate ordering is already
+// part of the contract: bruteforce.SearchChunked/SearchKChunked,
+// OneShot probe selection (OneShotParams.Phase1Chunked), LSH candidate
+// rescoring (lsh.Params.Rescore) and kd-tree leaf rescoring
+// (kdtree.BuildGrade); core.GroupedScan and Exact refuse fast-grade
+// kernels outright. OneShot sits between the grades: its probe-selection
+// phase runs on a fast kernel against norms cached in the index (so
+// which ownership list is scanned can flip at near-ties inside that
+// grade's noise — within the algorithm's probabilistic contract), while
+// the list scans that produce the reported distances always use the
+// exact kernel.
 //
 // Arbitrary metric spaces — edit distance on strings, shortest-path
 // distance on graph nodes — are supported through the generic API in

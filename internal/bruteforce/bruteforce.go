@@ -19,9 +19,13 @@
 // post-sqrt per-query scan, selections agree except when two *distinct*
 // squared distances round to the same sqrt (a one-ulp razor tie the old
 // comparison could not see); there the ordering-space paths return the
-// strictly nearer point. SearchFast and SearchKFast use the fastest
+// strictly nearer point. SearchFast and SearchKFast use the Gram-fast
 // kernels (the Gram decomposition for Euclidean), which can additionally
 // differ from the reference in the trailing ulps of the distance.
+// SearchChunked and SearchKChunked use the chunked float32 kernels —
+// conversion-free vectorizable inner loops whose distances carry a
+// bounded relative error (metric.ChunkedErrorBound) instead of ulp drift;
+// SearchWith and SearchKWith accept any caller-resolved kernel grade.
 //
 // All functions optionally report work through a Counter so experiments
 // can measure distance evaluations independent of the machine.
@@ -190,12 +194,27 @@ func Search(queries, db *vec.Dataset, m metric.Metric[[]float32], c *Counter) []
 	return searchTiled(queries, db, metric.NewKernel(m), c)
 }
 
-// SearchFast is Search on the fastest kernel (the Gram decomposition with
-// precomputed squared norms for Euclidean). Distances can differ from the
-// per-query reference in the trailing ulps; ids agree except at ties
-// closer than that noise. Exact duplicates still tie toward the lower id.
+// SearchFast is Search on the Gram-fast kernel (the Gram decomposition
+// with precomputed squared norms for Euclidean). Distances can differ
+// from the per-query reference in the trailing ulps; ids agree except at
+// ties closer than that noise. Exact duplicates still tie toward the
+// lower id.
 func SearchFast(queries, db *vec.Dataset, m metric.Metric[[]float32], c *Counter) []Result {
 	return searchTiled(queries, db, metric.NewFastKernel(m), c)
+}
+
+// SearchChunked is Search on the chunked float32 kernel: distances carry
+// a bounded relative error (metric.ChunkedErrorBound) rather than ulp
+// drift, ids agree except at ties within that noise, and exact duplicates
+// still tie toward the lower id (identical rows score exactly zero).
+func SearchChunked(queries, db *vec.Dataset, m metric.Metric[[]float32], c *Counter) []Result {
+	return searchTiled(queries, db, metric.NewChunkedKernel(m), c)
+}
+
+// SearchWith is Search on a caller-resolved kernel, for consumers that
+// select the grade at run time (the rbc-bench -kernel knob).
+func SearchWith(queries, db *vec.Dataset, ker *metric.Kernel, c *Counter) []Result {
+	return searchTiled(queries, db, ker, c)
 }
 
 func searchTiled(queries, db *vec.Dataset, ker *metric.Kernel, c *Counter) []Result {
@@ -288,10 +307,21 @@ func SearchK(queries, db *vec.Dataset, k int, m metric.Metric[[]float32], c *Cou
 	return searchKTiled(queries, db, k, metric.NewKernel(m), c)
 }
 
-// SearchKFast is SearchK on the fastest kernel; see SearchFast for the
+// SearchKFast is SearchK on the Gram-fast kernel; see SearchFast for the
 // reproducibility caveat.
 func SearchKFast(queries, db *vec.Dataset, k int, m metric.Metric[[]float32], c *Counter) [][]par.Neighbor {
 	return searchKTiled(queries, db, k, metric.NewFastKernel(m), c)
+}
+
+// SearchKChunked is SearchK on the chunked float32 kernel; see
+// SearchChunked for the error contract.
+func SearchKChunked(queries, db *vec.Dataset, k int, m metric.Metric[[]float32], c *Counter) [][]par.Neighbor {
+	return searchKTiled(queries, db, k, metric.NewChunkedKernel(m), c)
+}
+
+// SearchKWith is SearchK on a caller-resolved kernel.
+func SearchKWith(queries, db *vec.Dataset, k int, ker *metric.Kernel, c *Counter) [][]par.Neighbor {
+	return searchKTiled(queries, db, k, ker, c)
 }
 
 func searchKTiled(queries, db *vec.Dataset, k int, ker *metric.Kernel, c *Counter) [][]par.Neighbor {
@@ -401,6 +431,56 @@ func SearchSubset(q []float32, db *vec.Dataset, ids []int, m metric.Metric[[]flo
 	}
 	c.Add(len(ids))
 	return best
+}
+
+// rescoreBlock is how many candidate rows RescoreK gathers per kernel
+// call; sized so the gathered block and its ordering row stay cache-hot.
+const rescoreBlock = 256
+
+// RescoreK ranks the database rows listed in ids by distance to q and
+// returns the k nearest, sorted ascending (ties toward the lower id).
+// Candidates are gathered into a contiguous scratch block and scored
+// through ker's row kernel — the BF(q, X[L]) candidate-rescoring shape
+// the approximate backends (lsh bucket unions, kdtree leaf sets) produce
+// — so the inner loop runs on the tiled kernel grades instead of
+// per-pair Distance calls. Duplicate ids in ids yield duplicate results;
+// callers dedupe beforehand. With a fast-grade kernel the returned
+// distances inherit that grade's error contract.
+func RescoreK(ker *metric.Kernel, q []float32, db *vec.Dataset, ids []int32, k int, c *Counter) []par.Neighbor {
+	if k <= 0 || len(ids) == 0 {
+		return nil
+	}
+	dim := db.Dim
+	sc := par.GetScratch()
+	defer par.PutScratch(sc)
+	h := sc.Heap(0, k)
+	blk := rescoreBlock
+	if blk > len(ids) {
+		blk = len(ids)
+	}
+	buf := sc.Float32(1, blk*dim)
+	ords := sc.Float64(0, blk)
+	for lo := 0; lo < len(ids); lo += blk {
+		hi := lo + blk
+		if hi > len(ids) {
+			hi = len(ids)
+		}
+		for t, id := range ids[lo:hi] {
+			copy(buf[t*dim:(t+1)*dim], db.Row(int(id)))
+		}
+		out := ords[:hi-lo]
+		ker.Ordering(q, buf[:(hi-lo)*dim], dim, out)
+		for t, o := range out {
+			h.Push(int(ids[lo+t]), o)
+		}
+	}
+	c.Add(len(ids))
+	res := h.Results()
+	for i := range res {
+		res[i].Dist = ker.ToDistance(res[i].Dist)
+	}
+	par.SortNeighbors(res)
+	return res
 }
 
 // RangeSearch returns every database point within distance eps of q,

@@ -1,0 +1,208 @@
+package bruteforce
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/metric"
+	"repro/internal/vec"
+)
+
+// chunkedPerQueryRef runs the chunked kernel one query at a time through
+// its row scan — the per-query reference for SearchChunked. The chunked
+// kernel is tile-shape stable and Tile ≡ Ordering, so the tiled batch
+// path must match it bit for bit.
+func chunkedPerQueryRef(queries, db *vec.Dataset, m metric.Metric[[]float32]) []Result {
+	ker := metric.NewChunkedKernel(m)
+	dim := db.Dim
+	out := make([]Result, queries.N())
+	ords := make([]float64, db.N())
+	for i := range out {
+		q := queries.Row(i)
+		ker.Ordering(q, db.Data, dim, ords)
+		best := Result{ID: -1, Dist: math.Inf(1)}
+		for j, o := range ords {
+			if o < best.Dist {
+				best = Result{ID: j, Dist: o}
+			}
+		}
+		best.Dist = ker.ToDistance(best.Dist)
+		out[i] = best
+	}
+	return out
+}
+
+func TestChunkedSearchBitIdenticalToChunkedReference(t *testing.T) {
+	m := metric.Euclidean{}
+	tiledCases(t, func(t *testing.T, queries, db *vec.Dataset) {
+		got := SearchChunked(queries, db, m, nil)
+		want := chunkedPerQueryRef(queries, db, m)
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("query %d: SearchChunked %+v, per-query chunked reference %+v", i, got[i], want[i])
+			}
+		}
+	})
+}
+
+// TestChunkedSearchAgreesWithNaiveWithinBound: the selected neighbor must
+// agree with the naive scan except at ties inside the chunked error
+// bound, and the reported distance must stay within that bound of the
+// true distance.
+func TestChunkedSearchAgreesWithNaiveWithinBound(t *testing.T) {
+	m := metric.Euclidean{}
+	tiledCases(t, func(t *testing.T, queries, db *vec.Dataset) {
+		// The squared-space relative bound loosens to roughly half on the
+		// distance after the sqrt; keep the squared-space bound as a
+		// conservative distance tolerance.
+		bound := metric.ChunkedErrorBound(db.Dim)
+		got := SearchChunked(queries, db, m, nil)
+		for i := range got {
+			want := naiveNN(queries.Row(i), db, m)
+			gd := m.Distance(queries.Row(i), db.Row(got[i].ID))
+			if got[i].ID != want.ID {
+				// A near-tie within the chunked noise may resolve either
+				// way; the true distances must then agree within bound.
+				if diff := math.Abs(gd - want.Dist); diff > bound*(1+want.Dist) {
+					t.Fatalf("query %d: id %d (d=%v) vs naive %d (d=%v), gap %v beyond bound",
+						i, got[i].ID, gd, want.ID, want.Dist, diff)
+				}
+			}
+			if diff := math.Abs(got[i].Dist - gd); diff > bound*(1+gd) {
+				t.Fatalf("query %d: reported %v, true %v, drift beyond bound", i, got[i].Dist, gd)
+			}
+		}
+	})
+}
+
+// TestChunkedSearchKSortedAndDeduplicated mirrors the fast-kernel k-NN
+// well-formedness checks on the chunked grade.
+func TestChunkedSearchKSortedAndDeduplicated(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	db := dupDataset(rng, 1000, 6)
+	queries := randomDataset(rng, 20, 6)
+	res := SearchKChunked(queries, db, 9, metric.Euclidean{}, nil)
+	for i, nbs := range res {
+		if len(nbs) != 9 {
+			t.Fatalf("query %d: %d results", i, len(nbs))
+		}
+		for j := 1; j < len(nbs); j++ {
+			if nbs[j].Dist < nbs[j-1].Dist ||
+				(nbs[j].Dist == nbs[j-1].Dist && nbs[j].ID <= nbs[j-1].ID) {
+				t.Fatalf("query %d: results not sorted by (dist, id): %v", i, nbs)
+			}
+		}
+	}
+}
+
+// TestSearchWithMatchesGradeWrappers: the kernel-parameterized entry
+// points must be the same computation as the named wrappers.
+func TestSearchWithMatchesGradeWrappers(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	db := randomDataset(rng, 900, 8)
+	queries := randomDataset(rng, 31, 8)
+	m := metric.Euclidean{}
+	for _, tc := range []struct {
+		name string
+		ker  *metric.Kernel
+		want []Result
+	}{
+		{"exact", metric.NewKernel(m), Search(queries, db, m, nil)},
+		{"fast", metric.NewFastKernel(m), SearchFast(queries, db, m, nil)},
+		{"chunked", metric.NewChunkedKernel(m), SearchChunked(queries, db, m, nil)},
+	} {
+		got := SearchWith(queries, db, tc.ker, nil)
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Fatalf("%s query %d: SearchWith %+v, wrapper %+v", tc.name, i, got[i], tc.want[i])
+			}
+		}
+		gotK := SearchKWith(queries, db, 5, tc.ker, nil)
+		wantK := searchKTiled(queries, db, 5, tc.ker, nil)
+		for i := range gotK {
+			for j := range wantK[i] {
+				if gotK[i][j] != wantK[i][j] {
+					t.Fatalf("%s query %d pos %d: %+v vs %+v", tc.name, i, j, gotK[i][j], wantK[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestRescoreK: rescoring a candidate list must match scoring those rows
+// through the same kernel directly, handle k > len(ids), and count evals.
+func TestRescoreK(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	db := randomDataset(rng, 500, 7)
+	q := randomDataset(rng, 1, 7).Row(0)
+	ids := make([]int32, 0, 300)
+	for i := 0; i < 300; i++ {
+		ids = append(ids, int32(rng.Intn(db.N())))
+	}
+	// Dedupe like callers do.
+	seen := map[int32]bool{}
+	uniq := ids[:0]
+	for _, id := range ids {
+		if !seen[id] {
+			seen[id] = true
+			uniq = append(uniq, id)
+		}
+	}
+	for _, grade := range []metric.Grade{metric.GradeExact, metric.GradeChunked} {
+		ker := metric.NewGradeKernel(metric.Euclidean{}, grade)
+		var c Counter
+		got := RescoreK(ker, q, db, uniq, 9, &c)
+		if c.Load() != int64(len(uniq)) {
+			t.Fatalf("%v: counted %d evals, want %d", grade, c.Load(), len(uniq))
+		}
+		// Reference: score every candidate through the same kernel's row
+		// scan one at a time.
+		ord := make([]float64, 1)
+		type cand struct {
+			id int
+			d  float64
+		}
+		ref := make([]cand, 0, len(uniq))
+		for _, id := range uniq {
+			ker.Ordering(q, db.Row(int(id)), db.Dim, ord)
+			ref = append(ref, cand{int(id), ker.ToDistance(ord[0])})
+		}
+		for j := 1; j < len(got); j++ {
+			if got[j].Dist < got[j-1].Dist {
+				t.Fatalf("%v: not sorted at %d", grade, j)
+			}
+		}
+		if len(got) != 9 {
+			t.Fatalf("%v: %d results, want 9", grade, len(got))
+		}
+		// Every returned (id, dist) must be present in the reference with
+		// identical bits, and no reference candidate may beat the worst
+		// returned one.
+		refDist := map[int]float64{}
+		for _, r := range ref {
+			refDist[r.id] = r.d
+		}
+		worst := got[len(got)-1].Dist
+		for _, nb := range got {
+			if d, ok := refDist[nb.ID]; !ok || d != nb.Dist {
+				t.Fatalf("%v: returned (%d, %v), reference has %v", grade, nb.ID, nb.Dist, d)
+			}
+		}
+		kept := map[int]bool{}
+		for _, nb := range got {
+			kept[nb.ID] = true
+		}
+		for _, r := range ref {
+			if !kept[r.id] && r.d < worst {
+				t.Fatalf("%v: candidate (%d, %v) beats worst returned %v but was dropped", grade, r.id, r.d, worst)
+			}
+		}
+	}
+	if got := RescoreK(metric.NewKernel(metric.Euclidean{}), q, db, uniq[:3], 10, nil); len(got) != 3 {
+		t.Fatalf("k > len(ids): %d results, want 3", len(got))
+	}
+	if got := RescoreK(metric.NewKernel(metric.Euclidean{}), q, db, nil, 5, nil); got != nil {
+		t.Fatalf("empty ids: %v", got)
+	}
+}

@@ -82,7 +82,15 @@ type Exact struct {
 }
 
 // initKernel resolves the tiled kernel; called at build and load time.
-func (e *Exact) initKernel() { e.ker = metric.NewKernel(e.m) }
+// Exact's phase-2 scans are reported answers under the
+// bit-reproducibility contract, so the kernel is always exact grade —
+// the assertion locks the invariant against future rewiring.
+func (e *Exact) initKernel() {
+	e.ker = metric.NewKernel(e.m)
+	if e.ker.IsFast() {
+		panic("core: Exact requires an exact-grade kernel")
+	}
+}
 
 // BuildExact constructs the exact-search RBC over db. The build is the
 // single brute-force call BF(X,R) (§4), computed as point-tile ×

@@ -30,6 +30,13 @@ import (
 func GroupedScan(ker *metric.Kernel, qflat []float32, dim int, gather []float32,
 	tIdx, tWin []int, takers int, sc *par.Scratch, ts *metric.TileScratch,
 	emit func(t, lo int, ords []float64)) int64 {
+	if ker.IsFast() {
+		// GroupedScan output is reported answers under the
+		// bit-reproducibility contract; neither fast grade (Gram or
+		// chunked) is admissible here. Refusing loudly keeps a mis-wired
+		// consumer from silently shipping drifted distances.
+		panic("core: GroupedScan requires an exact-grade kernel, got " + ker.Grade().String())
+	}
 	if takers == 0 {
 		return 0
 	}

@@ -106,3 +106,27 @@ func TestGroupedScanDegenerate(t *testing.T) {
 		t.Fatalf("empty window reported %d pairs", n)
 	}
 }
+
+// TestGroupedScanRejectsFastKernels: no exact-grade consumer may be
+// constructed over a fast kernel — GroupedScan (Exact phase 2 and the
+// distributed shard scans both ride it) must refuse both fast grades at
+// the door rather than silently emit drifted orderings.
+func TestGroupedScanRejectsFastKernels(t *testing.T) {
+	for _, ker := range []*metric.Kernel{
+		metric.NewFastKernel(metric.Euclidean{}),
+		metric.NewChunkedKernel(metric.Euclidean{}),
+	} {
+		func() {
+			sc := par.GetScratch()
+			defer par.PutScratch(sc)
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("GroupedScan accepted a %v-grade kernel", ker.Grade())
+				}
+			}()
+			q := []float32{0, 0, 0}
+			GroupedScan(ker, q, 3, []float32{1, 2, 3}, []int{0}, []int{0, 1}, 1, sc, nil,
+				func(int, int, []float64) {})
+		}()
+	}
+}

@@ -29,6 +29,14 @@ type OneShotParams struct {
 	// default); larger values trade time for accuracy, an extension in
 	// the spirit of multiprobe LSH.
 	Probes int
+	// Phase1Chunked selects the chunked float32 kernel grade for phase 1
+	// (probe selection) instead of the default float64 Gram grade. Probe
+	// choice can then flip at representative near-ties within
+	// metric.ChunkedErrorBound — the same class of perturbation OneShot
+	// already tolerates probabilistically — while phase 2, whose
+	// distances are the reported answers, stays on the exact kernel
+	// either way.
+	Phase1Chunked bool
 }
 
 func (p OneShotParams) withDefaults(n int) OneShotParams {
@@ -53,16 +61,18 @@ func (p OneShotParams) withDefaults(n int) OneShotParams {
 // representative. The answer is exact with probability ≥ 1−δ when
 // n_r = s = c·sqrt(n·ln(1/δ)) (Theorem 2).
 //
-// Phase 1 (probe selection) runs on the fast Gram kernel against squared
-// representative norms cached at build time, so repeated searches pay zero
-// setup; phase 2 (the list scan, whose distances are the reported answers)
-// runs on the exact ordering kernel, bit-compatible with the brute-force
-// reference. Both phases defer the sqrt to the API boundary.
+// Phase 1 (probe selection) runs on a fast kernel grade — the Gram
+// decomposition against squared representative norms cached at build
+// time, or the chunked float32 kernel when Params.Phase1Chunked is set —
+// so repeated searches pay zero setup; phase 2 (the list scan, whose
+// distances are the reported answers) runs on the exact ordering kernel,
+// bit-compatible with the brute-force reference, regardless of the
+// phase-1 grade. Both phases defer the sqrt to the API boundary.
 type OneShot struct {
 	db   *vec.Dataset
 	m    metric.Metric[[]float32]
-	ker  *metric.Kernel // fast kernel: probe selection (Gram for Euclidean)
-	xker *metric.Kernel // exact kernel: grouped list scans (reported answers)
+	ker  *metric.Kernel // fast kernel: probe selection (Gram or chunked)
+	xker *metric.Kernel // exact kernel: list scans (reported answers)
 	prm  OneShotParams
 
 	repIDs   []int
@@ -78,10 +88,16 @@ type OneShot struct {
 	gather []float32
 }
 
-// initKernel resolves the tiled kernel and caches the representative
-// norms; called at build and load time.
+// initKernel resolves the tiled kernels and caches the representative
+// norms; called at build and load time. The chunked phase-1 grade reads
+// the float32 rows directly, so repNorms stays nil there (Norms reports
+// no use for them).
 func (o *OneShot) initKernel() {
-	o.ker = metric.NewFastKernel(o.m)
+	if o.prm.Phase1Chunked {
+		o.ker = metric.NewChunkedKernel(o.m)
+	} else {
+		o.ker = metric.NewFastKernel(o.m)
+	}
 	o.xker = metric.NewKernel(o.m)
 	o.repNorms = o.ker.Norms(o.repData.Data, o.repData.Dim, nil)
 }
@@ -212,7 +228,8 @@ func (o *OneShot) knn(q []float32, k int, ordRow []float64, sc *par.Scratch) (*p
 		seen = make(map[int32]struct{}, probes*o.s)
 	}
 	// Pooled block buffer: a local array would escape through the kernel's
-	// interface dispatch.
+	// interface dispatch. The list scan runs on the exact kernel — its
+	// distances are the reported answers — whatever grade phase 1 used.
 	scratch := sc.Float64(5, 256)
 	for _, probe := range probeHeap.Kept() {
 		j := probe.ID
@@ -224,7 +241,7 @@ func (o *OneShot) knn(q []float32, k int, ordRow []float64, sc *par.Scratch) (*p
 				end = hi
 			}
 			out := scratch[:end-blk]
-			o.ker.Ordering(q, o.gather[blk*dim:end*dim], dim, out)
+			o.xker.Ordering(q, o.gather[blk*dim:end*dim], dim, out)
 			for i, dd := range out {
 				id := o.ids[blk+i]
 				if seen != nil {
@@ -305,8 +322,8 @@ func (o *OneShot) Certify(q []float32) bool {
 	o.ker.Tile(q, qn, o.repData.Data, o.repNorms, dim, ords, nil)
 	j, _ := par.ArgMin(ords)
 	exact := sc.Float64(2, 1)
-	o.ker.Ordering(q, o.repData.Row(j), dim, exact)
-	return o.ker.ToDistance(exact[0]) <= o.radii[j]/2
+	o.xker.Ordering(q, o.repData.Row(j), dim, exact)
+	return o.xker.ToDistance(exact[0]) <= o.radii[j]/2
 }
 
 func (o *OneShot) checkDim(dim int) {

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bruteforce"
+	"repro/internal/metric"
+	"repro/internal/vec"
+)
+
+func chunkedOneShotData(t *testing.T, n, dim int, seed int64) *vec.Dataset {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	db := vec.New(dim, n)
+	row := make([]float32, dim)
+	for i := 0; i < n; i++ {
+		for j := range row {
+			row[j] = rng.Float32()*2 - 1
+		}
+		db.Append(row)
+	}
+	return db
+}
+
+// TestOneShotPhase1ChunkedExactAtFullLists: with S = n every ownership
+// list holds the whole database, so whatever representative the chunked
+// phase 1 picks, the exact phase 2 must return answers bit-identical to
+// the brute-force reference — the chunked grade may only steer the probe,
+// never touch reported distances.
+func TestOneShotPhase1ChunkedExactAtFullLists(t *testing.T) {
+	db := chunkedOneShotData(t, 400, 9, 311)
+	m := metric.Euclidean{}
+	o, err := BuildOneShot(db, m, OneShotParams{NumReps: 20, S: 400, Seed: 5, Phase1Chunked: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := chunkedOneShotData(t, 30, 9, 313)
+	for i := 0; i < queries.N(); i++ {
+		q := queries.Row(i)
+		got, _ := o.KNN(q, 7)
+		want := bruteforce.SearchOneK(q, db, 7, m, nil)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d results, want %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("query %d pos %d: chunked-phase1 %+v, reference %+v", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestOneShotPhase1ChunkedBatchParity: the grouped batch path must use
+// the same phase-1 kernel as the per-query path, so KNNBatch stays
+// bit-identical to per-query KNN under the chunked grade too.
+func TestOneShotPhase1ChunkedBatchParity(t *testing.T) {
+	db := chunkedOneShotData(t, 600, 13, 331)
+	m := metric.Euclidean{}
+	o, err := BuildOneShot(db, m, OneShotParams{NumReps: 24, Seed: 9, Probes: 2, Phase1Chunked: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := chunkedOneShotData(t, 40, 13, 337)
+	batch, _ := o.KNNBatch(queries, 5)
+	for i := 0; i < queries.N(); i++ {
+		single, _ := o.KNN(queries.Row(i), 5)
+		if len(batch[i]) != len(single) {
+			t.Fatalf("query %d: batch %d results, per-query %d", i, len(batch[i]), len(single))
+		}
+		for j := range single {
+			if batch[i][j] != single[j] {
+				t.Fatalf("query %d pos %d: batch %+v, per-query %+v", i, j, batch[i][j], single[j])
+			}
+		}
+	}
+}
+
+// TestOneShotPhase1ChunkedReportedDistancesExact: whatever list the
+// chunked probe picks, every reported distance must be the exact-kernel
+// distance of the returned id (no chunked noise may leak into answers).
+func TestOneShotPhase1ChunkedReportedDistancesExact(t *testing.T) {
+	db := chunkedOneShotData(t, 500, 17, 341)
+	m := metric.Euclidean{}
+	o, err := BuildOneShot(db, m, OneShotParams{Seed: 11, Phase1Chunked: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xker := metric.NewKernel(m)
+	ord := make([]float64, 1)
+	queries := chunkedOneShotData(t, 25, 17, 347)
+	for i := 0; i < queries.N(); i++ {
+		q := queries.Row(i)
+		nbs, _ := o.KNN(q, 4)
+		for _, nb := range nbs {
+			xker.Ordering(q, db.Row(nb.ID), db.Dim, ord)
+			if want := xker.ToDistance(ord[0]); nb.Dist != want {
+				t.Fatalf("query %d id %d: reported %v, exact %v", i, nb.ID, nb.Dist, want)
+			}
+		}
+	}
+}
+
+// TestOneShotPhase1ChunkedRoundTrip: the phase-1 grade must survive
+// Save/Load (it changes search behavior, so silently dropping it would
+// desynchronize a reloaded index from its builder).
+func TestOneShotPhase1ChunkedRoundTrip(t *testing.T) {
+	db := chunkedOneShotData(t, 300, 5, 351)
+	m := metric.Euclidean{}
+	o, err := BuildOneShot(db, m, OneShotParams{Seed: 13, Phase1Chunked: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := o.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	re, err := LoadOneShot(&buf, db, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !re.Params().Phase1Chunked {
+		t.Fatal("Phase1Chunked lost in round trip")
+	}
+	q := db.Row(7)
+	a, _ := o.KNN(q, 3)
+	b, _ := re.KNN(q, 3)
+	for j := range a {
+		if a[j] != b[j] {
+			t.Fatalf("pos %d: original %+v, reloaded %+v", j, a[j], b[j])
+		}
+	}
+}

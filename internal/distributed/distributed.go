@@ -178,17 +178,20 @@ type shard struct {
 // coordinator's current k-th candidate ordering (the rep-seeded heap's
 // worst): candidates strictly beyond it cannot enter the merged result
 // and are dropped shard-side. wins, present on EarlyExit clusters,
-// carries per query the admissible window [dLo, dHi] of each of its
-// segments (two float64s per entry of segs[qi], in
-// distance-to-representative space); the shard clips each taker's scan
-// range to its window through the sorted segment. includeReps admits
-// representative positions into the scan's results (broadcast mode);
-// routed searches leave it false because the coordinator seeds every
-// representative itself.
+// carries the admissible windows [dLo, dHi] (in distance-to-
+// representative space) as one flat pair sequence aligned with the
+// concatenation of segs — wins[2p], wins[2p+1] belong to the p-th
+// (query, segment) entry in segs iteration order; the shard clips each
+// taker's scan range to its window through the sorted segment. The flat
+// layout is one allocation per request instead of one per query (the
+// windowed path used to carry ~2× the full-scan path's allocations).
+// includeReps admits representative positions into the scan's results
+// (broadcast mode); routed searches leave it false because the
+// coordinator seeds every representative itself.
 type shardRequest struct {
 	qs          []float32
 	segs        [][]int
-	wins        [][]float64
+	wins        []float64
 	bounds      []float64
 	k           int
 	includeReps bool
@@ -253,14 +256,16 @@ func (s *shard) scan(req shardRequest) shardReply {
 	if req.wins != nil {
 		winFlat = sc.Float64(0, 2*total)
 	}
+	wpos := 0
 	for qi, segs := range req.segs {
-		for si, seg := range segs {
+		for _, seg := range segs {
 			pos := counts[seg]
 			takerFlat[pos] = qi
 			if winFlat != nil {
-				winFlat[2*pos] = req.wins[qi][2*si]
-				winFlat[2*pos+1] = req.wins[qi][2*si+1]
+				winFlat[2*pos] = req.wins[2*wpos]
+				winFlat[2*pos+1] = req.wins[2*wpos+1]
 			}
+			wpos++
 			counts[seg]++
 		}
 	}
@@ -494,12 +499,13 @@ const WindowBytes = 16
 
 // shardBatch accumulates one shard's slice of a query block: which
 // global queries it serves, per query which segments to scan, and — on
-// windowed clusters — each segment's admissible window (two float64s per
-// entry of segs, aligned pairwise).
+// windowed clusters — each segment's admissible window, stored as one
+// flat [dLo, dHi] pair sequence aligned with the concatenation of segs
+// (one backing array per shard per block).
 type shardBatch struct {
 	qidx []int
 	segs [][]int
-	wins [][]float64
+	wins []float64
 }
 
 // add appends segment seg of query qi (queries arrive in ascending
@@ -510,14 +516,11 @@ func (sb *shardBatch) add(qi, seg int, win []float64) {
 	if n := len(sb.qidx); n == 0 || sb.qidx[n-1] != qi {
 		sb.qidx = append(sb.qidx, qi)
 		sb.segs = append(sb.segs, nil)
-		if win != nil {
-			sb.wins = append(sb.wins, nil)
-		}
 	}
 	last := len(sb.segs) - 1
 	sb.segs[last] = append(sb.segs[last], seg)
 	if win != nil {
-		sb.wins[last] = append(sb.wins[last], win[0], win[1])
+		sb.wins = append(sb.wins, win[0], win[1])
 	}
 }
 
@@ -604,10 +607,22 @@ func (c *Cluster) plan(queries *vec.Dataset, k int, met *QueryMetrics) ([]*par.K
 	nr := c.repData.N()
 	heaps := make([]*par.KHeap, nq)
 	bounds := make([]float64, nq)
-	survivors := make([][]int32, nq)
-	var survWins [][]float64
+	// Survivor lists and their admissible windows live in one block-level
+	// pooled slab — per-query segments of width nr (2·nr for the window
+	// pairs), written concurrently by the front-half workers on disjoint
+	// ranges and read back once while building the shard batches below.
+	// This Scratch belongs to plan, not to any front-half worker (those
+	// pull their own instances), so the slabs stay live across the whole
+	// block; pooling them removes the per-query survivor/window append
+	// allocations that made the windowed path carry ~2× the full-scan
+	// path's allocations.
+	psc := par.GetScratch()
+	defer par.PutScratch(psc)
+	survAll := psc.Ints(0, nq*nr)
+	survN := psc.Ints(1, nq)
+	var winsAll []float64
 	if c.windowed {
-		survWins = make([][]float64, nq)
+		winsAll = psc.Float64(0, 2*nq*nr)
 	}
 	kk := k
 	if kk > nr {
@@ -643,8 +658,12 @@ func (c *Cluster) plan(queries *vec.Dataset, k int, met *QueryMetrics) ([]*par.K
 			if c.windowed && !math.IsInf(bounds[qi], 1) {
 				winW = c.ker.ToDistance(bounds[qi])
 			}
-			var surv []int32
+			surv := survAll[qi*nr : (qi+1)*nr]
 			var wins []float64
+			if c.windowed {
+				wins = winsAll[2*qi*nr : 2*(qi+1)*nr]
+			}
+			cnt := 0
 			for j := 0; j < nr; j++ {
 				if dists[j] >= gammaK+c.radii[j] {
 					continue
@@ -652,25 +671,26 @@ func (c *Cluster) plan(queries *vec.Dataset, k int, met *QueryMetrics) ([]*par.K
 				if !math.IsInf(tripleBound, 1) && dists[j] > tripleBound {
 					continue
 				}
-				surv = append(surv, int32(j))
+				surv[cnt] = j
 				if c.windowed {
-					wins = append(wins, dists[j]-winW, dists[j]+winW)
+					wins[2*cnt] = dists[j] - winW
+					wins[2*cnt+1] = dists[j] + winW
 				}
+				cnt++
 			}
-			survivors[qi] = surv
-			if c.windowed {
-				survWins[qi] = wins
-			}
+			survN[qi] = cnt
 			return core.Stats{RepEvals: int64(nr)}
 		})
 	met.RepEvals += st.RepEvals
 	met.Evals += st.RepEvals
 	batches := make([]shardBatch, len(c.shards))
 	for i := 0; i < nq; i++ {
-		for si, j := range survivors[i] {
+		base := i * nr
+		for si := 0; si < survN[i]; si++ {
+			j := survAll[base+si]
 			var win []float64
-			if survWins != nil {
-				win = survWins[i][2*si : 2*si+2]
+			if winsAll != nil {
+				win = winsAll[2*(base+si) : 2*(base+si)+2]
 			}
 			batches[c.repShard[j]].add(i, int(c.repSeg[j]), win)
 		}
@@ -755,10 +775,7 @@ func (c *Cluster) finish(queries *vec.Dataset, k int, batches []shardBatch, boun
 		contacted++
 		shardBytes[sid] = len(sb.qidx) * (queryBytes + k*resultBytes)
 		if sb.wins != nil {
-			nwins := 0
-			for _, w := range sb.wins {
-				nwins += len(w) / 2
-			}
+			nwins := len(sb.wins) / 2
 			shardBytes[sid] += nwins * WindowBytes
 			met.Windows += int64(nwins)
 		}

@@ -502,3 +502,27 @@ func TestWindowedEvalRatioSmoke(t *testing.T) {
 		t.Fatalf("windowed/full PointEvals ratio %.3f, want < 1", ratio)
 	}
 }
+
+// TestWindowedPlanAllocationsParity guards the pooled survivor/window
+// slabs in plan(): the windowed KNNBatch path used to carry ~2x the
+// full-scan path's allocations (per-query survWins appends); with the
+// slabs pooled through par.Scratch the two paths must allocate within a
+// modest factor of each other.
+func TestWindowedPlanAllocationsParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(601))
+	db := clustered(rng, 3000, 16, 10)
+	full, win := buildPair(t, db, core.ExactParams{Seed: 607, NumReps: 100, ExactCount: true}, 3)
+	defer full.Close()
+	defer win.Close()
+	queries := clustered(rand.New(rand.NewSource(613)), 128, 16, 10)
+	// Warm the pools so steady state is measured.
+	full.KNNBatch(queries, 10)
+	win.KNNBatch(queries, 10)
+	af := testing.AllocsPerRun(3, func() { full.KNNBatch(queries, 10) })
+	aw := testing.AllocsPerRun(3, func() { win.KNNBatch(queries, 10) })
+	t.Logf("allocations per block: full=%.0f windowed=%.0f ratio=%.2f", af, aw, aw/af)
+	if aw > af*1.35+64 {
+		t.Fatalf("windowed KNNBatch allocates %.0f vs full-scan %.0f (ratio %.2f); window slabs not pooled?",
+			aw, af, aw/af)
+	}
+}

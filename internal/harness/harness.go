@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/dataset"
+	"repro/internal/metric"
 	"repro/internal/stats"
 	"repro/internal/vec"
 )
@@ -34,6 +35,26 @@ type Config struct {
 	// CoverTreeCap bounds the database size for cover-tree comparisons
 	// (sequential builds; default 30000).
 	CoverTreeCap int
+	// Kernel selects the kernel grade for the paths that tolerate
+	// approximate ordering: the timed brute-force baselines, one-shot
+	// probe selection and LSH candidate rescoring. "exact" (default),
+	// "fast" (float64 Gram) or "chunked" (float32 chunked accumulation).
+	// Correctness references and exact-search answers always stay on the
+	// exact grade.
+	Kernel string
+}
+
+// Grade resolves the configured kernel grade.
+func (c Config) Grade() (metric.Grade, error) {
+	switch c.Kernel {
+	case "", "exact":
+		return metric.GradeExact, nil
+	case "fast":
+		return metric.GradeFast, nil
+	case "chunked":
+		return metric.GradeChunked, nil
+	}
+	return metric.GradeExact, fmt.Errorf("harness: unknown kernel grade %q (have exact, fast, chunked)", c.Kernel)
 }
 
 func (c Config) withDefaults() Config {

@@ -1,0 +1,85 @@
+package kdtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bruteforce"
+	"repro/internal/metric"
+	"repro/internal/vec"
+)
+
+// TestKNNMatchesBruteForceHigherDim: the gathered-leaf kernel scans must
+// keep the tree exact beyond the toy dimensions — the leaf arithmetic is
+// now literally the brute-force row kernel.
+func TestKNNMatchesBruteForceHigherDim(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	m := metric.Euclidean{}
+	for _, dim := range []int{8, 64} {
+		db := randomDataset(rng, 1200, dim)
+		tr := Build(db, 16)
+		for trial := 0; trial < 15; trial++ {
+			q := randomDataset(rng, 1, dim).Row(0)
+			got := tr.KNN(q, 5)
+			want := bruteforce.SearchOneK(q, db, 5, m, nil)
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("dim=%d trial %d pos %d: %+v want %+v", dim, trial, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestChunkedTreeWithinBound: a chunked-grade tree is approximate, but
+// every reported distance must be within the chunked error contract of
+// the returned id's true distance, and the returned neighbor must be
+// near-optimal (its true distance within the bound of the true NN).
+func TestChunkedTreeWithinBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	m := metric.Euclidean{}
+	for _, dim := range []int{3, 17, 64} {
+		db := randomDataset(rng, 1500, dim)
+		tr := BuildGrade(db, 16, metric.GradeChunked)
+		// Squared-space relative bound, conservatively applied in
+		// distance space (it only loosens after the sqrt).
+		bound := metric.ChunkedErrorBound(dim)
+		for trial := 0; trial < 20; trial++ {
+			q := randomDataset(rng, 1, dim).Row(0)
+			id, d := tr.NN(q)
+			if id < 0 {
+				t.Fatalf("dim=%d trial %d: no result", dim, trial)
+			}
+			true_ := m.Distance(q, db.Row(id))
+			if diff := math.Abs(d - true_); diff > bound*(1+true_) {
+				t.Fatalf("dim=%d trial %d: reported %v, true %v (drift beyond bound)", dim, trial, d, true_)
+			}
+			want := bruteforce.SearchOne(q, db, m, nil)
+			if true_ > want.Dist*(1+bound)+bound {
+				t.Fatalf("dim=%d trial %d: returned dist %v vs optimal %v (beyond chunked tolerance)",
+					dim, trial, true_, want.Dist)
+			}
+		}
+	}
+}
+
+// TestChunkedTreeDuplicateSafety: identical rows score exactly zero in
+// the chunked grade, so self-queries must still find themselves.
+func TestChunkedTreeDuplicateSafety(t *testing.T) {
+	rows := make([][]float32, 40)
+	for i := range rows {
+		rows[i] = []float32{7, -3, 2}
+	}
+	db := vec.FromRows(rows)
+	tr := BuildGrade(db, 4, metric.GradeChunked)
+	got := tr.KNN([]float32{7, -3, 2}, 5)
+	if len(got) != 5 {
+		t.Fatalf("identical points: %v", got)
+	}
+	for _, nb := range got {
+		if nb.Dist != 0 {
+			t.Fatalf("self-distance %v, want exactly 0", nb.Dist)
+		}
+	}
+}

@@ -3,6 +3,17 @@
 // dimensions "basic data structures like kd-trees are extremely
 // effective" — this package provides that reference baseline so the
 // experiments can show where the crossover to metric methods happens.
+//
+// Leaf candidate rescoring rides the tiled row kernels: the database is
+// gathered into tree order at build time so every leaf is a contiguous
+// block, and a leaf visit is one Kernel.Ordering call instead of
+// per-pair Distance calls. The default (Build) uses the exact kernel
+// grade — descents compare in ordering space, reported distances match
+// the brute-force reference. BuildGrade admits the chunked float32 grade
+// for an approximate tree whose leaf scans run conversion-free; its
+// pruning and distances then inherit the chunked error contract
+// (metric.ChunkedErrorBound), mirroring how the lsh package treats
+// candidate rescoring.
 package kdtree
 
 import (
@@ -10,6 +21,7 @@ import (
 	"sort"
 	"sync/atomic"
 
+	"repro/internal/metric"
 	"repro/internal/par"
 	"repro/internal/vec"
 )
@@ -17,13 +29,16 @@ import (
 // Tree is an immutable k-d tree built over a dataset.
 type Tree struct {
 	db    *vec.Dataset
+	ker   *metric.Kernel
 	nodes []node
-	order []int32 // tree position → database id
+	order []int32   // tree position → database id
+	flat  []float32 // order-aligned gathered rows: leaves are contiguous
 	root  int32
 	// DistEvals counts full distance evaluations during queries
 	// (diagnostic; not synchronized — meaningful for sequential use).
 	DistEvals int64
 	leafSize  int
+	maxLeaf   int // widest leaf, sizes the per-query scan buffer
 }
 
 type node struct {
@@ -44,9 +59,17 @@ type buildCtx struct {
 	leaf  int
 }
 
-// Build constructs the tree. leafSize controls when recursion stops;
-// values of 8-32 are typical (0 selects 16).
+// Build constructs the tree on the exact kernel grade. leafSize controls
+// when recursion stops; values of 8-32 are typical (0 selects 16).
 func Build(db *vec.Dataset, leafSize int) *Tree {
+	return BuildGrade(db, leafSize, metric.GradeExact)
+}
+
+// BuildGrade constructs the tree with the given leaf-rescoring kernel
+// grade. GradeExact (and GradeFast, whose row scan is the same exact
+// arithmetic) keeps the tree's answers identical to brute force;
+// GradeChunked makes it approximate within metric.ChunkedErrorBound.
+func BuildGrade(db *vec.Dataset, leafSize int, g metric.Grade) *Tree {
 	if leafSize <= 0 {
 		leafSize = 16
 	}
@@ -55,7 +78,7 @@ func Build(db *vec.Dataset, leafSize int) *Tree {
 	for i := range ctx.order {
 		ctx.order[i] = int32(i)
 	}
-	t := &Tree{db: db, leafSize: leafSize}
+	t := &Tree{db: db, ker: metric.NewGradeKernel(metric.Euclidean{}, g), leafSize: leafSize}
 	if n == 0 {
 		t.root = -1
 		return t
@@ -63,6 +86,19 @@ func Build(db *vec.Dataset, leafSize int) *Tree {
 	t.root = ctx.build(0, n)
 	t.nodes = ctx.nodes
 	t.order = ctx.order
+	// Gather rows into tree order so each leaf's points are one
+	// contiguous block the row kernel can stream.
+	t.flat = make([]float32, n*db.Dim)
+	for p, id := range t.order {
+		copy(t.flat[p*db.Dim:(p+1)*db.Dim], db.Row(int(id)))
+	}
+	for _, nd := range t.nodes {
+		if nd.axis < 0 {
+			if w := int(nd.hi - nd.lo); w > t.maxLeaf {
+				t.maxLeaf = w
+			}
+		}
+	}
 	return t
 }
 
@@ -134,15 +170,25 @@ func (t *Tree) KNN(q []float32, k int) []par.Neighbor {
 
 // knn is the counter-free descent: it returns the evaluations performed
 // instead of bumping DistEvals, so batch callers can run queries in
-// parallel and fold the counts in afterwards.
+// parallel and fold the counts in afterwards. The heap holds ordering
+// distances; conversion happens once per result at the boundary, exactly
+// like the brute-force reference.
 func (t *Tree) knn(q []float32, k int) ([]par.Neighbor, int64) {
 	if t.root < 0 || k <= 0 {
 		return nil, 0
 	}
-	h := par.NewKHeap(k)
+	sc := par.GetScratch()
+	defer par.PutScratch(sc)
+	h := sc.Heap(0, k)
+	buf := sc.Float64(0, t.maxLeaf)
 	var evals int64
-	t.search(t.root, q, h, &evals)
-	return h.Results(), evals
+	t.search(t.root, q, h, buf, &evals)
+	res := h.Results()
+	for i := range res {
+		res[i].Dist = t.ker.ToDistance(res[i].Dist)
+	}
+	par.SortNeighbors(res)
+	return res, evals
 }
 
 // KNNBatch answers a block of k-NN queries in parallel (queries are
@@ -160,12 +206,21 @@ func (t *Tree) KNNBatch(queries *vec.Dataset, k int) ([][]par.Neighbor, int64) {
 	return out, total.Load()
 }
 
-func (t *Tree) search(ni int32, q []float32, h *par.KHeap, evals *int64) {
+func (t *Tree) search(ni int32, q []float32, h *par.KHeap, buf []float64, evals *int64) {
 	nd := &t.nodes[ni]
 	if nd.axis < 0 {
-		for _, id := range t.order[nd.lo:nd.hi] {
-			h.Push(int(id), t.pointDist(q, int(id), evals))
+		lo, hi := int(nd.lo), int(nd.hi)
+		if lo == hi {
+			return
 		}
+		// One row-kernel call rescores the whole leaf block.
+		out := buf[:hi-lo]
+		dim := t.db.Dim
+		t.ker.Ordering(q, t.flat[lo*dim:hi*dim], dim, out)
+		for i, o := range out {
+			h.Push(int(t.order[lo+i]), o)
+		}
+		*evals += int64(hi - lo)
 		return
 	}
 	diff := float64(q[nd.axis]) - float64(nd.split)
@@ -173,24 +228,14 @@ func (t *Tree) search(ni int32, q []float32, h *par.KHeap, evals *int64) {
 	if diff > 0 {
 		near, far = nd.right, nd.left
 	}
-	t.search(near, q, h, evals)
+	t.search(near, q, h, buf, evals)
 	// Visit the far side only if the splitting plane is closer than the
-	// current k-th distance (or the heap is not yet full).
+	// current k-th distance (or the heap is not yet full); the heap holds
+	// orderings, so the plane distance converts once.
 	worst, full := h.Worst()
-	if !full || math.Abs(diff) <= worst {
-		t.search(far, q, h, evals)
+	if !full || t.ker.FromDistance(math.Abs(diff)) <= worst {
+		t.search(far, q, h, buf, evals)
 	}
-}
-
-func (t *Tree) pointDist(q []float32, id int, evals *int64) float64 {
-	*evals++
-	row := t.db.Row(id)
-	var s float64
-	for j := range q {
-		d := float64(q[j]) - float64(row[j])
-		s += d * d
-	}
-	return math.Sqrt(s)
 }
 
 // Range returns all points within eps of q sorted by ascending distance.
@@ -198,14 +243,31 @@ func (t *Tree) Range(q []float32, eps float64) []par.Neighbor {
 	if t.root < 0 {
 		return nil
 	}
+	sc := par.GetScratch()
+	defer par.PutScratch(sc)
+	buf := sc.Float64(0, t.maxLeaf)
+	// Ordering-space prefilter with distance-space confirmation, exactly
+	// like bruteforce.RangeSearch, so the inclusive eps boundary survives
+	// the ordering round trip.
+	epsHi := t.ker.OrderingBound(eps)
+	dim := t.db.Dim
 	var hits []par.Neighbor
 	var walk func(ni int32)
 	walk = func(ni int32) {
 		nd := &t.nodes[ni]
 		if nd.axis < 0 {
-			for _, id := range t.order[nd.lo:nd.hi] {
-				if d := t.pointDist(q, int(id), &t.DistEvals); d <= eps {
-					hits = append(hits, par.Neighbor{ID: int(id), Dist: d})
+			lo, hi := int(nd.lo), int(nd.hi)
+			if lo == hi {
+				return
+			}
+			out := buf[:hi-lo]
+			t.ker.Ordering(q, t.flat[lo*dim:hi*dim], dim, out)
+			t.DistEvals += int64(hi - lo)
+			for i, o := range out {
+				if o <= epsHi {
+					if d := t.ker.ToDistance(o); d <= eps {
+						hits = append(hits, par.Neighbor{ID: int(t.order[lo+i]), Dist: d})
+					}
 				}
 			}
 			return

@@ -11,7 +11,12 @@
 // quantized random projections h_i(x) = ⌊(a_i·x + b_i)/W⌋ with
 // a_i ~ N(0,I) and b_i ~ U[0,W). A query probes its bucket in every
 // table, collects the union of candidates, and ranks them by true
-// distance.
+// distance. The ranking (candidate rescoring) runs through the tiled
+// row kernels via bruteforce.RescoreK: exact grade by default, or the
+// chunked float32 grade when Params.Rescore selects it — LSH candidates
+// are approximate to begin with, so the chunked grade's bounded relative
+// error (metric.ChunkedErrorBound) only perturbs razor-thin ranking ties
+// while the rescoring loop runs conversion-free.
 package lsh
 
 import (
@@ -20,6 +25,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/bruteforce"
 	"repro/internal/metric"
 	"repro/internal/par"
 	"repro/internal/vec"
@@ -37,6 +43,11 @@ type Params struct {
 	W float64
 	// Seed drives the random projections.
 	Seed int64
+	// Rescore selects the kernel grade used to rank candidates (the
+	// zero value is metric.GradeExact: reported distances match the
+	// brute-force reference). metric.GradeChunked trades bounded
+	// relative error for a conversion-free rescoring loop.
+	Rescore metric.Grade
 }
 
 func (p Params) withDefaults() Params {
@@ -55,6 +66,7 @@ func (p Params) withDefaults() Params {
 type Index struct {
 	db  *vec.Dataset
 	prm Params
+	ker *metric.Kernel // candidate-rescoring kernel (Params.Rescore grade)
 
 	// proj holds L*K projection vectors of dimension dim, row-major;
 	// offsets holds the matching L*K uniform shifts.
@@ -76,6 +88,7 @@ func Build(db *vec.Dataset, prm Params) (*Index, error) {
 	}
 	idx := &Index{
 		db: db, prm: prm,
+		ker:     metric.NewGradeKernel(metric.Euclidean{}, prm.Rescore),
 		proj:    make([]float64, prm.L*prm.K*db.Dim),
 		offsets: make([]float64, prm.L*prm.K),
 		tables:  make([]map[uint64][]int32, prm.L),
@@ -186,17 +199,18 @@ func (idx *Index) One(q []float32) (Result, int) {
 	return Result{ID: res[0].ID, Dist: res[0].Dist}, evals
 }
 
-// KNN returns up to k candidates ranked by true distance, and the number
-// of distance evaluations performed.
+// KNN returns up to k candidates ranked by distance under the rescoring
+// kernel (true distances on the default exact grade), and the number of
+// distance evaluations performed. The bucket union is deduplicated and
+// rescored in one pass through bruteforce.RescoreK, so the ranking inner
+// loop rides the row kernel instead of per-pair Distance calls.
 func (idx *Index) KNN(q []float32, k int) ([]par.Neighbor, int) {
 	if k <= 0 {
 		return nil, 0
 	}
 	keys := make([]int64, idx.prm.K)
 	seen := make(map[int32]struct{}, 64)
-	m := metric.Euclidean{}
-	h := par.NewKHeap(k)
-	evals := 0
+	var cands []int32
 	for t := 0; t < idx.prm.L; t++ {
 		idx.hashInto(t, q, keys)
 		for _, id := range idx.tables[t][idx.bucketKey(keys)] {
@@ -204,11 +218,10 @@ func (idx *Index) KNN(q []float32, k int) ([]par.Neighbor, int) {
 				continue
 			}
 			seen[id] = struct{}{}
-			h.Push(int(id), m.Distance(q, idx.db.Row(int(id))))
-			evals++
+			cands = append(cands, id)
 		}
 	}
-	return h.Results(), evals
+	return bruteforce.RescoreK(idx.ker, q, idx.db, cands, k, nil), len(cands)
 }
 
 // SearchK answers a batch of k-NN queries in parallel (table probes are

@@ -1,0 +1,137 @@
+package metric
+
+// This file implements the chunked-fast kernel grade: float32 arithmetic
+// with bounded-length float32 accumulation, folded into a float64 total
+// per chunk. It is the third kernel grade (see the package comment in
+// multi.go): exact and Gram-fast kernels widen every operand to float64,
+// which makes the inner loop pay conversions (the exact row kernel
+// converts both operands of every pair element); the chunked kernels keep
+// the whole inner loop in float32 — loads, subtract, multiply, add — so
+// it runs conversion-free and maps directly onto the hardware's packed
+// float32 lanes.
+//
+// # Accumulation structure and error bound
+//
+// Each point row is processed in chunks of at most chunkDims = 2^11
+// elements. Within a chunk, squared differences accumulate in eight
+// independent float32 lanes (each lane sums at most chunkDims/8 + 1
+// products); at the chunk boundary the eight lanes are widened and folded
+// into a float64 running total. Because every summand (q[j]-x[j])² is
+// non-negative, the summation has condition number 1 and the float32
+// rounding errors cannot be amplified by cancellation: the chunked
+// ordering distance o~ satisfies
+//
+//	|o~ − o| ≤ ChunkedErrorBound(dim) · o + dim · 2⁻¹²⁶
+//
+// against the exact-kernel ordering distance o, for any magnitude mix.
+// The relative term comes from the standard forward-error bound for
+// non-negative summation ((#adds per lane + 3 roundings per term) · 2⁻²⁴
+// per chunk, the float64 fold contributing only 2⁻⁵³ terms); the absolute
+// term covers float32 underflow of individual squares. The bound carries
+// a 2× safety factor.
+//
+// Out-of-range inputs: each float32 LANE accumulates up to chunkDims/8 =
+// 256 squared differences, so a lane overflows to +Inf well before any
+// single square reaches MaxFloat32 — a chunk of squared differences
+// around 1.3e36 each (|q[j]−x[j]| ≈ 1.2e18) already sums past ~3.4e38,
+// and the chunked ordering distance becomes +Inf instead of a finite
+// value. The safe envelope is Σ(q[j]−x[j])² < MaxFloat32 per 2^11-dim
+// chunk (conservatively |q[j]−x[j]| ≲ 4e17 everywhere). Callers whose
+// coordinates can reach that range must use the exact or Gram-fast
+// grades.
+//
+// # Reproducibility
+//
+// The chunked tile kernel evaluates every (query, point) pair with
+// exactly the per-pair loop the chunked row kernel runs, so — like the
+// exact grade — chunked results are bit-identical across tile shapes AND
+// between Tile and Ordering. What the chunked grade gives up relative to
+// the exact grade is agreement with the float64 reference, not internal
+// determinism.
+
+// chunkDims bounds how many float32 products are accumulated before the
+// lanes are folded into the float64 total: 2^11, small enough that the
+// relative error of a chunk stays near 2⁻¹⁶ while keeping the fold cost
+// negligible.
+const chunkDims = 1 << 11
+
+// f32Ulp is the float32 unit roundoff 2⁻²⁴.
+const f32Ulp = 1.0 / (1 << 24)
+
+// ChunkedErrorBound returns the relative error bound of the chunked
+// kernels at dimension dim: the chunked ordering distance differs from
+// the exact kernel's by at most ChunkedErrorBound(dim) times the exact
+// value, plus an absolute underflow floor of dim·2⁻¹²⁶ (see the file
+// comment for the derivation and the overflow caveat).
+func ChunkedErrorBound(dim int) float64 {
+	m := dim
+	if m > chunkDims {
+		m = chunkDims
+	}
+	// Per chunk: ≤ m/8+1 float32 adds per lane, 3 roundings per term
+	// (subtract, square, the lane fold), plus the float64 chunk folds for
+	// dims beyond one chunk (negligible but covered by the 2× safety
+	// factor on the float32 term).
+	return 2 * (float64(m)/8 + 4) * f32Ulp
+}
+
+// euclidChunkedRow is the chunked float32 row kernel: squared l2 ordering
+// distances from q to every row of flat, accumulated per the contract
+// above. The inner loop reads, subtracts, multiplies and adds float32
+// only — no widening — so it is the vectorizable form of
+// Euclidean.OrderingDistances.
+func euclidChunkedRow(q, flat []float32, dim int, out []float64) {
+	for i := range out {
+		out[i] = euclidChunkedPair(q, flat[i*dim:(i+1)*dim])
+	}
+}
+
+// euclidChunkedPair is the shared per-pair loop of the chunked row and
+// tile kernels; keeping it in one place is what makes the chunked grade
+// tile-shape stable.
+func euclidChunkedPair(q, row []float32) float64 {
+	dim := len(q)
+	var s float64
+	for c0 := 0; c0 < dim; c0 += chunkDims {
+		c1 := c0 + chunkDims
+		if c1 > dim {
+			c1 = dim
+		}
+		var a0, a1, a2, a3, a4, a5, a6, a7 float32
+		j := c0
+		for ; j+8 <= c1; j += 8 {
+			d0 := q[j] - row[j]
+			d1 := q[j+1] - row[j+1]
+			d2 := q[j+2] - row[j+2]
+			d3 := q[j+3] - row[j+3]
+			d4 := q[j+4] - row[j+4]
+			d5 := q[j+5] - row[j+5]
+			d6 := q[j+6] - row[j+6]
+			d7 := q[j+7] - row[j+7]
+			a0 += d0 * d0
+			a1 += d1 * d1
+			a2 += d2 * d2
+			a3 += d3 * d3
+			a4 += d4 * d4
+			a5 += d5 * d5
+			a6 += d6 * d6
+			a7 += d7 * d7
+		}
+		for ; j < c1; j++ {
+			d := q[j] - row[j]
+			a0 += d * d
+		}
+		s += float64(a0) + float64(a1) + float64(a2) + float64(a3) +
+			float64(a4) + float64(a5) + float64(a6) + float64(a7)
+	}
+	return s
+}
+
+// euclidChunkedTile is the chunked tile kernel: each query row streams
+// the point block through the shared per-pair loop. No widening, no
+// norms, no scratch — the float32 inputs are consumed in place.
+func euclidChunkedTile(qflat, pflat []float32, dim, nq, np int, out []float64) {
+	for i := 0; i < nq; i++ {
+		euclidChunkedRow(qflat[i*dim:(i+1)*dim], pflat, dim, out[i*np:(i+1)*np])
+	}
+}

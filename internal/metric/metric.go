@@ -15,8 +15,11 @@
 // The tile kernels work in *ordering distance* space — a strictly monotone
 // surrogate of the distance (squared for l2) that keeps the inner loop
 // FMA-shaped — with conversion at the API boundary via the Orderer
-// interface; see multi.go for the contract, the exact/fast kernel grades
-// and their bit-reproducibility guarantees.
+// interface. Three kernel grades exist — exact (bit-reproducible),
+// Gram-fast (float64 Gram decomposition, ulp drift) and chunked-fast
+// (float32 chunked accumulation, bounded relative error) — see multi.go
+// for the ordering contract and grade semantics, and chunked.go for the
+// chunked error bound derivation.
 package metric
 
 // Metric is a distance function over points of type P. Implementations

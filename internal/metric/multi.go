@@ -24,22 +24,39 @@ import (
 // monotone, comparisons, top-k selection and tie-breaking (toward lower
 // ids) in ordering space agree exactly with distance space.
 //
-// # Exact vs fast kernels
+// # Kernel grades
 //
-// A Kernel resolves a metric's tile implementation once. Two modes exist:
+// A Kernel resolves a metric's tile implementation once. Three grades
+// exist, ordered by how much reproducibility they trade for speed:
 //
 //   - NewKernel (exact): per-pair arithmetic is bit-identical to the
 //     single-query Batch/OrderingBatch path, so results are reproducible
 //     against the per-query reference down to the last bit, including ties.
 //     Euclidean uses a cache-blocked difference kernel over pre-widened
 //     float64 tiles (widening is exact, so bits are unchanged).
-//   - NewFastKernel (fast): the fastest available kernel. Euclidean uses
+//   - NewFastKernel (Gram-fast): float64 throughout, but Euclidean uses
 //     the Gram decomposition ‖q−x‖² = ‖q‖² + ‖x‖² − 2·q·x over precomputed
 //     squared norms, which reassociates the summation: results can differ
 //     from the exact kernel in the trailing ulps (never in ordering-space
 //     tie handling for bit-identical rows, e.g. duplicate points). The fast
 //     kernel is itself tile-shape stable: any tiling of the same (Q, X)
 //     yields bit-identical values.
+//   - NewChunkedKernel (chunked-fast): Euclidean runs the whole inner loop
+//     in float32 — at most 2^11 products accumulate in float32 lanes
+//     before folding into a float64 total — so it is conversion-free and
+//     vectorizable, roughly doubling row-scan throughput. Values differ
+//     from the exact kernel by a bounded RELATIVE error (ChunkedErrorBound,
+//     ≈1e-5 at 2^11 dims), far more than the Gram grade's ulp drift; see
+//     chunked.go for the bound, the overflow caveat and the tile-shape
+//     stability guarantee.
+//
+// Both fast grades report IsFast() == true. Consumers whose outputs are
+// reported answers under a bit-reproducibility contract (core.Exact
+// phase 2, the distributed shard scans, range searches) must use the
+// exact grade and guard with !IsFast(); consumers that only need a
+// monotone-enough ordering (probe selection, candidate generation and
+// rescoring in approximate backends, brute-force baselines that tolerate
+// documented error) may use either fast grade.
 
 // BatchMulti is the multi-query vector fast path: ordering distances from
 // every query in qflat (nq = len(qflat)/dim rows) to every point in pflat
@@ -132,29 +149,75 @@ func growF64(buf []float64, n int) []float64 {
 	return buf[:n]
 }
 
+// Grade identifies a kernel's arithmetic grade; see the package comment
+// for the three grades and their reproducibility contracts.
+type Grade uint8
+
+const (
+	// GradeExact is bit-identical to the per-query reference.
+	GradeExact Grade = iota
+	// GradeFast is the float64 Gram decomposition (ulp-level drift).
+	GradeFast
+	// GradeChunked is chunked float32 accumulation (bounded relative
+	// error, ChunkedErrorBound).
+	GradeChunked
+)
+
+// String implements fmt.Stringer.
+func (g Grade) String() string {
+	switch g {
+	case GradeExact:
+		return "exact"
+	case GradeFast:
+		return "fast"
+	case GradeChunked:
+		return "chunked"
+	}
+	return "unknown"
+}
+
 // Kernel binds a metric to its resolved tile implementation and ordering
 // conversions. Construct once (per index or per batch call) and reuse.
 type Kernel struct {
-	m      Metric[[]float32]
-	fast   bool
-	euclid bool
-	bm     BatchMulti
-	ob     OrderingBatch
-	b      Batch
-	ord    Orderer
+	m       Metric[[]float32]
+	fast    bool
+	chunked bool
+	euclid  bool
+	bm      BatchMulti
+	ob      OrderingBatch
+	b       Batch
+	ord     Orderer
 }
 
 // NewKernel returns the exact-mode kernel for m: tiled, but bit-identical
 // to the per-query reference path.
-func NewKernel(m Metric[[]float32]) *Kernel { return newKernel(m, false) }
+func NewKernel(m Metric[[]float32]) *Kernel { return newKernel(m, false, false) }
 
-// NewFastKernel returns the fast-mode kernel for m: the quickest available
+// NewFastKernel returns the Gram-fast kernel for m: the quickest float64
 // tile implementation (the Gram kernel for Euclidean). Values may differ
 // from the exact kernel in the last ulps; see the package comment.
-func NewFastKernel(m Metric[[]float32]) *Kernel { return newKernel(m, true) }
+func NewFastKernel(m Metric[[]float32]) *Kernel { return newKernel(m, true, false) }
 
-func newKernel(m Metric[[]float32], fast bool) *Kernel {
-	k := &Kernel{m: m, fast: fast}
+// NewChunkedKernel returns the chunked-fast kernel for m: float32 inner
+// loops with per-chunk float64 folds for Euclidean (bounded relative
+// error, see ChunkedErrorBound); metrics without a chunked implementation
+// behave exactly like their NewFastKernel form.
+func NewChunkedKernel(m Metric[[]float32]) *Kernel { return newKernel(m, true, true) }
+
+// NewGradeKernel returns the kernel for m at the requested grade.
+func NewGradeKernel(m Metric[[]float32], g Grade) *Kernel {
+	switch g {
+	case GradeFast:
+		return NewFastKernel(m)
+	case GradeChunked:
+		return NewChunkedKernel(m)
+	default:
+		return NewKernel(m)
+	}
+}
+
+func newKernel(m Metric[[]float32], fast, chunked bool) *Kernel {
+	k := &Kernel{m: m, fast: fast, chunked: chunked}
 	_, k.euclid = m.(Euclidean)
 	k.bm, _ = m.(BatchMulti)
 	k.ob, _ = m.(OrderingBatch)
@@ -166,11 +229,24 @@ func newKernel(m Metric[[]float32], fast bool) *Kernel {
 // Metric returns the underlying metric.
 func (k *Kernel) Metric() Metric[[]float32] { return k.m }
 
-// IsFast reports whether the kernel was constructed with NewFastKernel.
-// Fast-grade tiles may differ from the per-query reference in trailing
-// ulps; callers whose results must stay bit-identical to the reference
-// (Exact phase 2, the distributed shard scans) assert !IsFast().
+// IsFast reports whether the kernel was constructed with NewFastKernel or
+// NewChunkedKernel. Fast-grade values may differ from the per-query
+// reference (trailing ulps for the Gram grade, ChunkedErrorBound for the
+// chunked grade); callers whose results must stay bit-identical to the
+// reference (Exact phase 2, the distributed shard scans) assert
+// !IsFast().
 func (k *Kernel) IsFast() bool { return k.fast }
+
+// Grade reports the kernel's arithmetic grade.
+func (k *Kernel) Grade() Grade {
+	switch {
+	case k.chunked:
+		return GradeChunked
+	case k.fast:
+		return GradeFast
+	}
+	return GradeExact
+}
 
 // ToDistance converts an ordering distance to the true distance.
 func (k *Kernel) ToDistance(o float64) float64 {
@@ -194,12 +270,15 @@ func (k *Kernel) FromDistance(d float64) float64 {
 // Identity orderings bound exactly; Euclidean one ulp above d² (sqrt is
 // correctly rounded, so no squared value at or below distance d can exceed
 // it); orderings built on math.Pow are not correctly rounded, so no finite
-// bound is safe and every candidate must be confirmed via ToDistance.
+// bound is safe and every candidate must be confirmed via ToDistance. The
+// chunked grade's orderings drift by ChunkedErrorBound rather than an ulp,
+// so no finite one-ulp bound is safe there either — range consumers stay
+// on the exact grade.
 func (k *Kernel) OrderingBound(d float64) float64 {
 	switch {
 	case k.ord == nil:
 		return d
-	case k.euclid:
+	case k.euclid && !k.chunked:
 		return math.Nextafter(d*d, math.Inf(1))
 	default:
 		return math.Inf(1)
@@ -207,9 +286,11 @@ func (k *Kernel) OrderingBound(d float64) float64 {
 }
 
 // NeedsNorms reports whether Tile consumes precomputed squared norms
-// (the Gram fast path). Callers that hold a dataset across many searches
-// should precompute them once with Norms and pass them to every Tile call.
-func (k *Kernel) NeedsNorms() bool { return k.fast && k.euclid }
+// (the Gram fast path; the chunked grade reads the float32 rows directly
+// and has no use for norms). Callers that hold a dataset across many
+// searches should precompute them once with Norms and pass them to every
+// Tile call.
+func (k *Kernel) NeedsNorms() bool { return k.fast && k.euclid && !k.chunked }
 
 // Norms fills dst (grown as needed) with the per-row squared l2 norms of
 // flat and returns it. It returns nil when the kernel has no use for norms,
@@ -238,6 +319,11 @@ func (k *Kernel) Tile(qflat []float32, qn []float64, pflat []float32, pn []float
 		return
 	}
 	switch {
+	case k.euclid && k.chunked:
+		// Chunked float32 tile: consumes the float32 rows in place — no
+		// widening, no norms, no scratch. Per-pair arithmetic is shared
+		// with the chunked row kernel (tile-shape stable; see chunked.go).
+		euclidChunkedTile(qflat, pflat, dim, nq, np, out)
 	case k.euclid && k.fast:
 		if ts == nil {
 			ts = GetTileScratch()
@@ -313,11 +399,15 @@ func (k *Kernel) Tile(qflat []float32, qn []float64, pflat []float32, pn []float
 }
 
 // Ordering computes single-query ordering distances from q to every point
-// in flat — the streaming (matrix-vector) reference path. Its per-pair
-// arithmetic is identical in both kernel modes, and bit-identical to the
-// exact-mode Tile.
+// in flat — the streaming (matrix-vector) reference path. On the exact
+// and Gram-fast grades its per-pair arithmetic is the float64 reference,
+// bit-identical to the exact-mode Tile; on the chunked grade it is the
+// chunked float32 row kernel, bit-identical to the chunked Tile (and
+// within ChunkedErrorBound of the reference).
 func (k *Kernel) Ordering(q, flat []float32, dim int, out []float64) {
 	switch {
+	case k.euclid && k.chunked:
+		euclidChunkedRow(q, flat, dim, out)
 	case k.ob != nil:
 		k.ob.OrderingDistances(q, flat, dim, out)
 	case k.b != nil:
