@@ -39,7 +39,7 @@ func main() {
 		queries  = flag.Int("queries", 200, "queries per experiment")
 		seed     = flag.Int64("seed", 20120501, "random seed")
 		repFac   = flag.Float64("repfactor", 2, "n_r multiplier on sqrt(n) for exact search")
-		kernel   = flag.String("kernel", "exact", "kernel grade for approximate-tolerant paths: exact, fast, or chunked (timed BF baselines, one-shot probe selection, LSH rescoring; exact answers stay exact)")
+		kernel   = flag.String("kernel", "exact", "kernel grade for approximate-tolerant paths: exact, fast, chunked, or quantized (timed BF baselines, one-shot probe selection, LSH rescoring; exact answers stay exact; quantized runs the two-pass int8 scan — see the quant-sweep experiment for its n-sweep)")
 		outDir   = flag.String("out", "", "directory for .txt/.csv outputs (optional)")
 		listOnly = flag.Bool("list", false, "list experiments and exit")
 

@@ -38,7 +38,9 @@
 // is scanned once per query tile as a small matrix-matrix call shared by
 // every query that kept it — with results bit-identical to per-query
 // KNN. The HTTP server (repro/internal/server) converts concurrent
-// single-query traffic into such blocks by request coalescing, and the
+// single-query traffic into such blocks by request coalescing — /query
+// through KNNBatch and /range through RangeBatch, each queue with its
+// own flush accounting in /stats — and the
 // distributed cluster (repro/internal/distributed) groups a block's
 // surviving lists by owning shard so each shard receives one request per
 // block instead of one per query.
@@ -76,7 +78,7 @@
 // monotone, ordering, top-k selection and tie-breaking (toward lower ids)
 // are unaffected.
 //
-// Three kernel grades exist (see repro/internal/metric for the full
+// Four kernel grades exist (see repro/internal/metric for the full
 // contracts). The builds and the Exact query paths (BuildExact,
 // BuildOneShot, Exact.One/KNN/Search/SearchK/Range, and
 // bruteforce.Search/SearchK) use exact kernels whose per-pair arithmetic
@@ -100,7 +102,27 @@
 // OneShot probe selection (OneShotParams.Phase1Chunked), LSH candidate
 // rescoring (lsh.Params.Rescore) and kd-tree leaf rescoring
 // (kdtree.BuildGrade); core.GroupedScan and Exact refuse fast-grade
-// kernels outright. OneShot sits between the grades: its probe-selection
+// kernels outright. The quantized grade (metric.NewQuantizedKernel)
+// targets the memory-bound regime instead of the compute-bound one: the
+// database is encoded once into int8 codes plus a per-chunk scale
+// (metric.NewQuantizedView, 4x less memory traffic than float32), and
+// the scan runs on the codes, so at n >= 100k and dim 64 the row scan is
+// >= 2x the chunked grade's throughput. Its scan distances carry a
+// bounded ADDITIVE error (QuantizedView.ErrorBound), which makes the
+// grade a candidate generator, not an answer path — so the scan layout
+// codes the database in row-major int8 with one float32 scale per
+// 2^11-value chunk, and every consumer pairs it with exact rescoring.
+// bruteforce.SearchKQuantized runs the two-pass contract: pass 1 scans
+// the codes and keeps QuantOverfetch*k (floored at 64) candidates —
+// enough to cover the quantization noise band around the k-th distance —
+// and pass 2 rescores exactly those rows with the exact kernel
+// (bruteforce.RescoreKQuantized), so the reported neighbors carry
+// bit-true distances; when the over-fetch reaches n the result is exact
+// by construction. The same pattern backs
+// OneShotParams.Phase1Quantized (probe selection over quantized rep
+// scans), the lsh and kdtree quantized grades, and
+// rbc-bench -kernel=quantized; the quant-sweep experiment measures the
+// n-crossover. OneShot sits between the grades: its probe-selection
 // phase runs on a fast kernel against norms cached in the index (so
 // which ownership list is scanned can flip at near-ties inside that
 // grade's noise — within the algorithm's probabilistic contract), while

@@ -1,0 +1,206 @@
+package bruteforce
+
+import (
+	"math"
+
+	"repro/internal/metric"
+	"repro/internal/par"
+	"repro/internal/vec"
+)
+
+// This file implements the two-pass quantized brute-force scan: a
+// candidate pass over int8 codes (metric.QuantizedView — 1 byte per
+// coordinate, built for the memory-bound regime where the float scan is
+// limited by DRAM bandwidth) followed by exact rescoring that restores
+// bit-true reported distances.
+//
+// # The two-pass contract
+//
+// Pass 1 scans the quantized view and keeps the k' = QuantOverfetch·k
+// best candidates per query in ordering space. Pass 2 rescores those
+// candidates with the EXACT kernel (RescoreK) and returns the top k, so
+// reported distances — and tie-breaking — are computed by exactly the
+// per-pair arithmetic SearchK uses. What the two-pass scan does NOT
+// certify is candidate recall: a true neighbor whose quantized distance
+// lands beyond the k'-th candidate is lost. The over-fetch absorbs
+// quantization noise of ±view.ErrorBound() per distance; with the
+// default α = 8 the equivalence corpus reproduces SearchK bit for bit
+// (asserted in internal/search), but adversarial data can defeat any
+// fixed α — callers needing certified answers use the exact paths.
+// Whenever k' ≥ n the candidate pass keeps everything and the result is
+// exact by construction.
+
+// QuantOverfetch is α, the candidate over-fetch factor of the quantized
+// two-pass scans: pass 1 keeps α·k candidates for pass 2 to rescore.
+const QuantOverfetch = 8
+
+// quantMinFetch floors the pass-1 candidate count: at small k the α·k
+// budget is thinner than the quantization noise band (many points can sit
+// within ±ErrorBound of the k-th distance), and rescoring a few dozen
+// rows costs nothing next to the scan it replaces.
+const quantMinFetch = 64
+
+// quantPassK returns the pass-1 heap size for a request of k among n
+// rows.
+func quantPassK(k, n int) int {
+	kp := k * QuantOverfetch
+	if kp < quantMinFetch {
+		kp = quantMinFetch
+	}
+	if kp < k { // overflow paranoia
+		kp = k
+	}
+	if kp > n {
+		kp = n
+	}
+	return kp
+}
+
+// SearchQuantized is the 1-NN two-pass quantized scan: candidate
+// generation over int8 codes, exact rescoring of QuantOverfetch
+// survivors. Reported distances are bit-identical to Search for every
+// query whose true nearest neighbor survives pass 1 (see the two-pass
+// contract above). The view is built once per call (O(n·dim)) and
+// amortizes over the query batch; callers that scan the same database
+// repeatedly should hold a view and use SearchKQuantizedView.
+func SearchQuantized(queries, db *vec.Dataset, m metric.Metric[[]float32], c *Counter) []Result {
+	nbs := SearchKQuantized(queries, db, 1, m, c)
+	out := make([]Result, len(nbs))
+	for i, ns := range nbs {
+		if len(ns) == 0 {
+			out[i] = Result{ID: -1, Dist: math.Inf(1)}
+			continue
+		}
+		out[i] = Result{ID: ns[0].ID, Dist: ns[0].Dist}
+	}
+	return out
+}
+
+// SearchKQuantized is the k-NN two-pass quantized scan; see
+// SearchQuantized. The Counter records both passes: n quantized
+// evaluations per query plus the exact rescores.
+func SearchKQuantized(queries, db *vec.Dataset, k int, m metric.Metric[[]float32], c *Counter) [][]par.Neighbor {
+	if queries.N() == 0 || db.N() == 0 || k <= 0 {
+		return make([][]par.Neighbor, queries.N())
+	}
+	return SearchKQuantizedView(queries, db, k, metric.NewQuantizedView(db.Data, db.Dim), m, c)
+}
+
+// SearchKQuantizedView is SearchKQuantized over a caller-held view
+// (which must have been built over db's current data).
+func SearchKQuantizedView(queries, db *vec.Dataset, k int, v *metric.QuantizedView, m metric.Metric[[]float32], c *Counter) [][]par.Neighbor {
+	nq := queries.N()
+	out := make([][]par.Neighbor, nq)
+	if nq == 0 {
+		return out
+	}
+	n, dim := db.N(), db.Dim
+	if n == 0 || k <= 0 {
+		return out
+	}
+	if v.N() != n || v.Dim() != dim {
+		panic("bruteforce: quantized view does not match the database")
+	}
+	xker := metric.NewKernel(m)
+	kp := quantPassK(k, n)
+	par.ForEach(nq, 1, func(i int) {
+		sc := par.GetScratch()
+		defer par.PutScratch(sc)
+		q := queries.Row(i)
+		qc := v.QuantizeQuery(q, sc.Int8s(0, v.Stride()))
+		h := sc.Heap(1, kp)
+		ords := sc.Float64(5, scanChunk)
+		for lo := 0; lo < n; lo += scanChunk {
+			hi := lo + scanChunk
+			if hi > n {
+				hi = n
+			}
+			blk := ords[:hi-lo]
+			v.OrderingRange(qc, lo, hi, blk)
+			for j, o := range blk {
+				h.Push(lo+j, o)
+			}
+		}
+		c.Add(n)
+		cands := h.Results()
+		ids := sc.Ints(4, len(cands))
+		for j, nb := range cands {
+			ids[j] = nb.ID
+		}
+		out[i] = rescoreTopK(xker, q, db, ids, k, sc, c)
+	})
+	return out
+}
+
+// RescoreKQuantized is the candidate-set form of the two-pass scan, for
+// approximate backends that already hold a candidate list (lsh bucket
+// unions): the listed rows are ranked by quantized distance, the best
+// QuantOverfetch·k survive, and those are rescored exactly — same
+// contract as SearchKQuantized, with the candidate list taking the place
+// of the full database. When the list is not larger than the over-fetch
+// budget the quantized pass is skipped entirely.
+func RescoreKQuantized(v *metric.QuantizedView, q []float32, db *vec.Dataset, ids []int32, k int, m metric.Metric[[]float32], c *Counter) []par.Neighbor {
+	if k <= 0 || len(ids) == 0 {
+		return nil
+	}
+	xker := metric.NewKernel(m)
+	kp := quantPassK(k, len(ids))
+	if v == nil || kp >= len(ids) {
+		return RescoreK(xker, q, db, ids, k, c)
+	}
+	sc := par.GetScratch()
+	defer par.PutScratch(sc)
+	qc := v.QuantizeQuery(q, sc.Int8s(0, v.Stride()))
+	ords := sc.Float64(5, len(ids))
+	v.OrderingIDs(qc, ids, ords)
+	c.Add(len(ids))
+	h := sc.Heap(1, kp)
+	for j, o := range ords {
+		h.Push(int(ids[j]), o)
+	}
+	cands := h.Results()
+	kept := sc.Ints(4, len(cands))
+	for j, nb := range cands {
+		kept[j] = nb.ID
+	}
+	return rescoreTopK(xker, q, db, kept, k, sc, c)
+}
+
+// rescoreTopK gathers the candidate rows and scores them with the exact
+// kernel — the pass-2 refinement shared by the quantized scans. It is
+// RescoreK with caller-owned scratch (the candidate ids arrive as ints
+// straight from a heap).
+func rescoreTopK(xker *metric.Kernel, q []float32, db *vec.Dataset, ids []int, k int, sc *par.Scratch, c *Counter) []par.Neighbor {
+	if k <= 0 || len(ids) == 0 {
+		return nil
+	}
+	dim := db.Dim
+	h := sc.Heap(0, k)
+	blk := rescoreBlock
+	if blk > len(ids) {
+		blk = len(ids)
+	}
+	buf := sc.Float32(1, blk*dim)
+	ords := sc.Float64(6, blk)
+	for lo := 0; lo < len(ids); lo += blk {
+		hi := lo + blk
+		if hi > len(ids) {
+			hi = len(ids)
+		}
+		for t, id := range ids[lo:hi] {
+			copy(buf[t*dim:(t+1)*dim], db.Row(id))
+		}
+		out := ords[:hi-lo]
+		xker.Ordering(q, buf[:(hi-lo)*dim], dim, out)
+		for t, o := range out {
+			h.Push(ids[lo+t], o)
+		}
+	}
+	c.Add(len(ids))
+	res := h.Results()
+	for i := range res {
+		res[i].Dist = xker.ToDistance(res[i].Dist)
+	}
+	par.SortNeighbors(res)
+	return res
+}

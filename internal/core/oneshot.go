@@ -37,6 +37,14 @@ type OneShotParams struct {
 	// distances are the reported answers, stays on the exact kernel
 	// either way.
 	Phase1Chunked bool
+	// Phase1Quantized selects the int8-quantized kernel grade for phase 1:
+	// representative rows are encoded once at build (and again at load)
+	// into a metric.QuantizedView, and probe selection scans 1-byte codes
+	// instead of 4-byte floats. Probe choice can flip at representative
+	// near-ties within the view's additive error bound; phase 2 stays on
+	// the exact kernel, so reported distances are unchanged in kind.
+	// Takes precedence over Phase1Chunked when both are set.
+	Phase1Quantized bool
 }
 
 func (p OneShotParams) withDefaults(n int) OneShotParams {
@@ -63,8 +71,10 @@ func (p OneShotParams) withDefaults(n int) OneShotParams {
 //
 // Phase 1 (probe selection) runs on a fast kernel grade — the Gram
 // decomposition against squared representative norms cached at build
-// time, or the chunked float32 kernel when Params.Phase1Chunked is set —
-// so repeated searches pay zero setup; phase 2 (the list scan, whose
+// time, the chunked float32 kernel when Params.Phase1Chunked is set, or
+// the int8-quantized kernel over a representative view when
+// Params.Phase1Quantized is set — so repeated searches pay zero setup;
+// phase 2 (the list scan, whose
 // distances are the reported answers) runs on the exact ordering kernel,
 // bit-compatible with the brute-force reference, regardless of the
 // phase-1 grade. Both phases defer the sqrt to the API boundary.
@@ -93,9 +103,12 @@ type OneShot struct {
 // the float32 rows directly, so repNorms stays nil there (Norms reports
 // no use for them).
 func (o *OneShot) initKernel() {
-	if o.prm.Phase1Chunked {
+	switch {
+	case o.prm.Phase1Quantized:
+		o.ker = metric.NewQuantizedKernel(o.m, metric.NewQuantizedView(o.repData.Data, o.repData.Dim))
+	case o.prm.Phase1Chunked:
 		o.ker = metric.NewChunkedKernel(o.m)
-	} else {
+	default:
 		o.ker = metric.NewFastKernel(o.m)
 	}
 	o.xker = metric.NewKernel(o.m)

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/bruteforce"
+	"repro/internal/metric"
+)
+
+// TestOneShotPhase1QuantizedExactAtFullLists: with S = n every ownership
+// list holds the whole database, so whatever representative the
+// quantized phase 1 picks, the exact phase 2 must return answers
+// bit-identical to the brute-force reference — the quantized grade may
+// only steer the probe, never touch reported distances.
+func TestOneShotPhase1QuantizedExactAtFullLists(t *testing.T) {
+	db := chunkedOneShotData(t, 400, 9, 411)
+	m := metric.Euclidean{}
+	o, err := BuildOneShot(db, m, OneShotParams{NumReps: 20, S: 400, Seed: 5, Phase1Quantized: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := o.ker.Grade(); got != metric.GradeQuantized {
+		t.Fatalf("phase-1 grade %v, want quantized", got)
+	}
+	queries := chunkedOneShotData(t, 30, 9, 413)
+	for i := 0; i < queries.N(); i++ {
+		q := queries.Row(i)
+		got, _ := o.KNN(q, 7)
+		want := bruteforce.SearchOneK(q, db, 7, m, nil)
+		if len(got) != len(want) {
+			t.Fatalf("query %d: %d results, want %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("query %d pos %d: quantized-phase1 %+v, reference %+v", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestOneShotPhase1QuantizedBatchParity: the grouped batch path must use
+// the same phase-1 kernel as the per-query path (the representative view
+// resolves sub-blocks of the gathered rep data), so KNNBatch stays
+// bit-identical to per-query KNN under the quantized grade too.
+func TestOneShotPhase1QuantizedBatchParity(t *testing.T) {
+	db := chunkedOneShotData(t, 600, 13, 431)
+	m := metric.Euclidean{}
+	o, err := BuildOneShot(db, m, OneShotParams{NumReps: 24, Seed: 9, Probes: 2, Phase1Quantized: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := chunkedOneShotData(t, 40, 13, 437)
+	batch, _ := o.KNNBatch(queries, 5)
+	for i := 0; i < queries.N(); i++ {
+		single, _ := o.KNN(queries.Row(i), 5)
+		if len(batch[i]) != len(single) {
+			t.Fatalf("query %d: batch %d results, per-query %d", i, len(batch[i]), len(single))
+		}
+		for j := range single {
+			if batch[i][j] != single[j] {
+				t.Fatalf("query %d pos %d: batch %+v, per-query %+v", i, j, batch[i][j], single[j])
+			}
+		}
+	}
+}
+
+// TestOneShotPhase1QuantizedReportedDistancesExact: whatever list the
+// quantized probe picks, every reported distance must be the exact-kernel
+// distance of the returned id (no quantization noise may leak into
+// answers).
+func TestOneShotPhase1QuantizedReportedDistancesExact(t *testing.T) {
+	db := chunkedOneShotData(t, 500, 17, 441)
+	m := metric.Euclidean{}
+	o, err := BuildOneShot(db, m, OneShotParams{Seed: 11, Phase1Quantized: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	xker := metric.NewKernel(m)
+	ord := make([]float64, 1)
+	queries := chunkedOneShotData(t, 25, 17, 447)
+	for i := 0; i < queries.N(); i++ {
+		q := queries.Row(i)
+		nbs, _ := o.KNN(q, 4)
+		for _, nb := range nbs {
+			xker.Ordering(q, db.Row(nb.ID), db.Dim, ord)
+			if want := xker.ToDistance(ord[0]); nb.Dist != want {
+				t.Fatalf("query %d id %d: reported %v, exact %v", i, nb.ID, nb.Dist, want)
+			}
+		}
+	}
+}
+
+// TestOneShotPhase1QuantizedRoundTrip: the phase-1 grade must survive
+// Save/Load — LoadOneShot re-runs initKernel, which rebuilds the
+// representative view from the decoded rep data.
+func TestOneShotPhase1QuantizedRoundTrip(t *testing.T) {
+	db := chunkedOneShotData(t, 300, 5, 451)
+	m := metric.Euclidean{}
+	o, err := BuildOneShot(db, m, OneShotParams{Seed: 13, Phase1Quantized: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := o.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	re, err := LoadOneShot(&buf, db, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !re.Params().Phase1Quantized {
+		t.Fatal("Phase1Quantized lost in round trip")
+	}
+	if got := re.ker.Grade(); got != metric.GradeQuantized {
+		t.Fatalf("reloaded phase-1 grade %v, want quantized", got)
+	}
+	q := db.Row(7)
+	a, _ := o.KNN(q, 3)
+	b, _ := re.KNN(q, 3)
+	for j := range a {
+		if a[j] != b[j] {
+			t.Fatalf("pos %d: original %+v, reloaded %+v", j, a[j], b[j])
+		}
+	}
+}
+
+// TestOneShotPhase1QuantizedPrecedence: when both phase-1 grade flags are
+// set, quantized wins (documented on OneShotParams).
+func TestOneShotPhase1QuantizedPrecedence(t *testing.T) {
+	db := chunkedOneShotData(t, 120, 4, 461)
+	o, err := BuildOneShot(db, metric.Euclidean{}, OneShotParams{Seed: 1, Phase1Chunked: true, Phase1Quantized: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := o.ker.Grade(); got != metric.GradeQuantized {
+		t.Fatalf("phase-1 grade %v, want quantized", got)
+	}
+}

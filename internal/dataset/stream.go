@@ -1,0 +1,67 @@
+package dataset
+
+import (
+	"math/rand"
+
+	"repro/internal/vec"
+)
+
+// Stream generates dataset rows one at a time, for corpora large enough
+// (n ≥ 1M) that the batch generate-then-Subset pattern hurts: workload()
+// materializes n+nq rows and then copies the two splits out, so its peak
+// footprint is roughly twice the data. A Stream writes each row straight
+// into its destination — the peak is the destination itself.
+//
+// Streams are deterministic in (dim, seed) and draw in the same order as
+// their batch counterparts, so the first n rows of a stream are
+// bit-identical to the batch generator's rows 0..n-1 (asserted in
+// tests); splitting a stream therefore reproduces workload()'s held-out
+// query semantics exactly.
+type Stream struct {
+	dim  int
+	rng  *rand.Rand
+	next func(rng *rand.Rand, row []float32)
+}
+
+// UniformStream streams the UniformCube generator: rows uniform in
+// [0,1]^dim.
+func UniformStream(dim int, seed int64) *Stream {
+	return &Stream{
+		dim: dim,
+		rng: rand.New(rand.NewSource(seed)),
+		next: func(rng *rand.Rand, row []float32) {
+			for j := range row {
+				row[j] = rng.Float32()
+			}
+		},
+	}
+}
+
+// Dim reports the row width.
+func (s *Stream) Dim() int { return s.dim }
+
+// Next writes the next row into row, which must have length Dim.
+func (s *Stream) Next(row []float32) { s.next(s.rng, row) }
+
+// Fill appends the next n rows of the stream to d, generating directly
+// into d's backing storage (no per-row temporaries beyond one row
+// buffer, no reallocation when d has capacity).
+func (s *Stream) Fill(d *vec.Dataset, n int) {
+	row := make([]float32, s.dim)
+	for i := 0; i < n; i++ {
+		s.next(s.rng, row)
+		d.Append(row)
+	}
+}
+
+// Split materializes the next n rows as a database and the nq rows after
+// them as a query set — the streaming equivalent of harness workload()
+// (queries held out of the database, same distribution), allocating
+// exactly the two destinations.
+func (s *Stream) Split(n, nq int) (db, queries *vec.Dataset) {
+	db = vec.New(s.dim, n)
+	s.Fill(db, n)
+	queries = vec.New(s.dim, nq)
+	s.Fill(queries, nq)
+	return db, queries
+}

@@ -1,0 +1,62 @@
+package dataset
+
+import (
+	"testing"
+
+	"repro/internal/vec"
+)
+
+// TestUniformStreamMatchesBatch: the stream must draw in the batch
+// generator's order, so Split(n, nq) reproduces UniformCube(n+nq)'s
+// prefix/suffix split bit for bit — the property that lets the harness
+// swap workload() for a stream on large corpora without changing data.
+func TestUniformStreamMatchesBatch(t *testing.T) {
+	const n, nq, dim, seed = 500, 40, 7, 99
+	all := UniformCube(n+nq, dim, seed)
+	db, queries := UniformStream(dim, seed).Split(n, nq)
+	checkBasic(t, db, n, dim)
+	checkBasic(t, queries, nq, dim)
+	for i := 0; i < n; i++ {
+		a, b := all.Row(i), db.Row(i)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("db row %d dim %d: stream %v, batch %v", i, j, b[j], a[j])
+			}
+		}
+	}
+	for i := 0; i < nq; i++ {
+		a, b := all.Row(n+i), queries.Row(i)
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("query row %d dim %d: stream %v, batch %v", i, j, b[j], a[j])
+			}
+		}
+	}
+}
+
+// TestStreamExactCapacity: Split allocates exactly its destinations — no
+// doubled temporary, no reallocation slack.
+func TestStreamExactCapacity(t *testing.T) {
+	db, queries := UniformStream(5, 3).Split(200, 16)
+	if cap(db.Data) != 200*5 {
+		t.Fatalf("db capacity %d, want %d", cap(db.Data), 200*5)
+	}
+	if cap(queries.Data) != 16*5 {
+		t.Fatalf("query capacity %d, want %d", cap(queries.Data), 16*5)
+	}
+}
+
+// TestStreamIncrementalFill: Fill can extend a dataset in uneven chunks
+// and the result matches a single-shot fill from the same seed.
+func TestStreamIncrementalFill(t *testing.T) {
+	const dim, seed = 4, 17
+	want, _ := UniformStream(dim, seed).Split(300, 0)
+	s := UniformStream(dim, seed)
+	rebuilt := &vec.Dataset{Dim: dim}
+	for _, chunk := range []int{1, 99, 200} {
+		s.Fill(rebuilt, chunk)
+	}
+	if !rebuilt.Equal(want) {
+		t.Fatal("chunked Fill diverged from one-shot Split")
+	}
+}

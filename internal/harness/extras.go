@@ -331,7 +331,9 @@ func RunLSHCompare(cfg Config) (*Output, error) {
 		// The one-shot index reports exact-kernel distances whatever the
 		// phase-1 grade, so its recall stays a bit comparison; LSH's
 		// reported distances inherit the rescoring grade, so recall under
-		// the chunked grade tolerates its documented relative error.
+		// the chunked grade tolerates its documented relative error. The
+		// quantized grade needs no tolerance: its two-pass rescoring
+		// reports exact-kernel distances.
 		tol := 0.0
 		if grade == metric.GradeChunked {
 			tol = metric.ChunkedErrorBound(db.Dim)
@@ -343,7 +345,8 @@ func RunLSHCompare(cfg Config) (*Output, error) {
 			nr := int(f * math.Sqrt(float64(n)))
 			idx, err := core.BuildOneShot(db, euclidM, core.OneShotParams{
 				NumReps: nr, S: nr, Seed: cfg.Seed, ExactCount: true,
-				Phase1Chunked: grade == metric.GradeChunked})
+				Phase1Chunked:   grade == metric.GradeChunked,
+				Phase1Quantized: grade == metric.GradeQuantized})
 			if err != nil {
 				return nil, err
 			}

@@ -38,10 +38,15 @@ type Config struct {
 	// Kernel selects the kernel grade for the paths that tolerate
 	// approximate ordering: the timed brute-force baselines, one-shot
 	// probe selection and LSH candidate rescoring. "exact" (default),
-	// "fast" (float64 Gram) or "chunked" (float32 chunked accumulation).
-	// Correctness references and exact-search answers always stay on the
-	// exact grade.
+	// "fast" (float64 Gram), "chunked" (float32 chunked accumulation) or
+	// "quantized" (int8 codes with exact rescoring — baselines run the
+	// two-pass bruteforce scans). Correctness references and exact-search
+	// answers always stay on the exact grade.
 	Kernel string
+	// QuantSweepCap bounds the largest database size the quant-sweep
+	// experiment materializes (default 1,000,000 — the memory-bound
+	// regime the sweep exists to measure; tests set it low).
+	QuantSweepCap int
 }
 
 // Grade resolves the configured kernel grade.
@@ -53,8 +58,10 @@ func (c Config) Grade() (metric.Grade, error) {
 		return metric.GradeFast, nil
 	case "chunked":
 		return metric.GradeChunked, nil
+	case "quantized":
+		return metric.GradeQuantized, nil
 	}
-	return metric.GradeExact, fmt.Errorf("harness: unknown kernel grade %q (have exact, fast, chunked)", c.Kernel)
+	return metric.GradeExact, fmt.Errorf("harness: unknown kernel grade %q (have exact, fast, chunked, quantized)", c.Kernel)
 }
 
 func (c Config) withDefaults() Config {
@@ -75,6 +82,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CoverTreeCap <= 0 {
 		c.CoverTreeCap = 30000
+	}
+	if c.QuantSweepCap <= 0 {
+		c.QuantSweepCap = 1_000_000
 	}
 	return c
 }
@@ -149,6 +159,9 @@ func Registry() []Experiment {
 		{ID: "lsh-compare", Title: "Extension: one-shot RBC vs locality-sensitive hashing",
 			Description: "recall and work of the two approximate schemes (§2 discussion)",
 			Run:         RunLSHCompare},
+		{ID: "quant-sweep", Title: "Extension: quantized-kernel n-sweep (memory-bound crossover)",
+			Description: "chunked float32 vs int8 two-pass brute force as n grows at dim 64 (§3's bandwidth argument on the CPU)",
+			Run:         RunQuantSweep},
 	}
 }
 

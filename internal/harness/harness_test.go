@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/dataset"
+	"repro/internal/metric"
 )
 
 // tinyConfig keeps harness tests fast: the smallest usable workloads.
@@ -21,7 +22,7 @@ func TestConfigDefaults(t *testing.T) {
 
 func TestRegistryAndByID(t *testing.T) {
 	reg := Registry()
-	if len(reg) != 16 {
+	if len(reg) != 17 {
 		t.Fatalf("registry size %d", len(reg))
 	}
 	seen := map[string]bool{}
@@ -234,5 +235,39 @@ func TestGPUDivergenceRuns(t *testing.T) {
 	}
 	if out.Tables[0].NumRows() != 6 {
 		t.Fatalf("divergence rows: %d", out.Tables[0].NumRows())
+	}
+}
+
+func TestQuantSweepRuns(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Queries = 8
+	cfg.QuantSweepCap = 2000 // both sweep sizes collapse to one capped row
+	out, err := RunQuantSweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Tables[0].NumRows() != 1 {
+		t.Fatalf("quant-sweep rows: %d", out.Tables[0].NumRows())
+	}
+	if len(out.Charts) != 1 {
+		t.Fatal("quant-sweep should emit a chart")
+	}
+}
+
+func TestQuantizedKernelGradeAccepted(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Kernel = "quantized"
+	if g, err := cfg.Grade(); err != nil || g != metric.GradeQuantized {
+		t.Fatalf("grade: %v, %v", g, err)
+	}
+	cfg.Queries = 16
+	if _, err := RunFig1(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunFig2(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunLSHCompare(cfg); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -13,7 +13,11 @@
 // for an approximate tree whose leaf scans run conversion-free; its
 // pruning and distances then inherit the chunked error contract
 // (metric.ChunkedErrorBound), mirroring how the lsh package treats
-// candidate rescoring.
+// candidate rescoring. It also admits the int8-quantized grade: the
+// gathered tree-order rows are encoded once into a metric.QuantizedView
+// at build time, leaf scans stream 1-byte codes, and pruning and
+// reported distances inherit the view's additive error contract
+// (QuantizedView.ErrorBound).
 package kdtree
 
 import (
@@ -68,7 +72,9 @@ func Build(db *vec.Dataset, leafSize int) *Tree {
 // BuildGrade constructs the tree with the given leaf-rescoring kernel
 // grade. GradeExact (and GradeFast, whose row scan is the same exact
 // arithmetic) keeps the tree's answers identical to brute force;
-// GradeChunked makes it approximate within metric.ChunkedErrorBound.
+// GradeChunked makes it approximate within metric.ChunkedErrorBound;
+// GradeQuantized encodes the gathered rows into an int8 view and is
+// approximate within the view's additive ErrorBound.
 func BuildGrade(db *vec.Dataset, leafSize int, g metric.Grade) *Tree {
 	if leafSize <= 0 {
 		leafSize = 16
@@ -98,6 +104,11 @@ func BuildGrade(db *vec.Dataset, leafSize int, g metric.Grade) *Tree {
 				t.maxLeaf = w
 			}
 		}
+	}
+	if g == metric.GradeQuantized {
+		// Encode the gathered rows now that they exist: leaf scans pass
+		// t.flat sub-blocks, which the view resolves to its codes.
+		t.ker = metric.NewQuantizedKernel(metric.Euclidean{}, metric.NewQuantizedView(t.flat, db.Dim))
 	}
 	return t
 }

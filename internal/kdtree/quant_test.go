@@ -1,0 +1,114 @@
+package kdtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bruteforce"
+	"repro/internal/metric"
+	"repro/internal/vec"
+)
+
+// TestQuantizedTreeWithinBound: a quantized-grade tree is approximate,
+// but every reported distance must be within the view's additive error
+// contract of the returned id's true distance, and the returned neighbor
+// must be near-optimal (its true distance within the bound of the true
+// NN — quantization noise can both mis-prune a descent and mis-rank a
+// leaf, each by at most the bound).
+func TestQuantizedTreeWithinBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	m := metric.Euclidean{}
+	for _, dim := range []int{3, 17, 64} {
+		db := randomDataset(rng, 1500, dim)
+		tr := BuildGrade(db, 16, metric.GradeQuantized)
+		bound := tr.ker.View().ErrorBound()
+		for trial := 0; trial < 20; trial++ {
+			q := randomDataset(rng, 1, dim).Row(0)
+			id, d := tr.NN(q)
+			if id < 0 {
+				t.Fatalf("dim=%d trial %d: no result", dim, trial)
+			}
+			true_ := m.Distance(q, db.Row(id))
+			if diff := math.Abs(d - true_); diff > bound {
+				t.Fatalf("dim=%d trial %d: reported %v, true %v (drift beyond bound %v)", dim, trial, d, true_, bound)
+			}
+			want := bruteforce.SearchOne(q, db, m, nil)
+			if true_ > want.Dist+2*bound {
+				t.Fatalf("dim=%d trial %d: returned dist %v vs optimal %v (beyond quantized tolerance %v)",
+					dim, trial, true_, want.Dist, bound)
+			}
+		}
+	}
+}
+
+// TestQuantizedTreeDuplicateSafety: identical rows produce identical
+// codes, so they score exactly zero and self-queries must still find
+// themselves.
+func TestQuantizedTreeDuplicateSafety(t *testing.T) {
+	rows := make([][]float32, 40)
+	for i := range rows {
+		rows[i] = []float32{7, -3, 2}
+	}
+	db := vec.FromRows(rows)
+	tr := BuildGrade(db, 4, metric.GradeQuantized)
+	got := tr.KNN([]float32{7, -3, 2}, 5)
+	if len(got) != 5 {
+		t.Fatalf("identical points: %v", got)
+	}
+	for _, nb := range got {
+		if nb.Dist != 0 {
+			t.Fatalf("self-distance %v, want exactly 0", nb.Dist)
+		}
+	}
+}
+
+// TestQuantizedTreeLeafViewResolution: the leaf scans must hit the
+// prebuilt view's codes, not transient re-encoding — the tree's kernel
+// view is built over t.flat, and every leaf block is a sub-range of it.
+func TestQuantizedTreeLeafViewResolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	db := randomDataset(rng, 300, 5)
+	tr := BuildGrade(db, 8, metric.GradeQuantized)
+	if g := tr.ker.Grade(); g != metric.GradeQuantized {
+		t.Fatalf("kernel grade %v, want quantized", g)
+	}
+	v := tr.ker.View()
+	if v == nil || v.N() != db.N() || v.Dim() != db.Dim {
+		t.Fatalf("view geometry: %+v", v)
+	}
+	// Empty tree keeps a usable (viewless) quantized kernel.
+	empty := BuildGrade(&vec.Dataset{Dim: 5}, 8, metric.GradeQuantized)
+	if id, _ := empty.NN([]float32{0, 0, 0, 0, 0}); id != -1 {
+		t.Fatalf("empty tree returned id %d", id)
+	}
+}
+
+// TestQuantizedTreeRangeConsistency: range search under the quantized
+// grade reports ids whose quantized distance clears eps; every true
+// distance must clear eps + bound (no wild inclusions), and every point
+// truly within eps - bound must be found (no wild exclusions).
+func TestQuantizedTreeRangeConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	m := metric.Euclidean{}
+	db := randomDataset(rng, 800, 6)
+	tr := BuildGrade(db, 16, metric.GradeQuantized)
+	bound := tr.ker.View().ErrorBound()
+	for trial := 0; trial < 10; trial++ {
+		q := randomDataset(rng, 1, 6).Row(0)
+		eps := 0.5 + rng.Float64()
+		got := tr.Range(q, eps)
+		found := make(map[int]bool, len(got))
+		for _, nb := range got {
+			found[nb.ID] = true
+			if d := m.Distance(q, db.Row(nb.ID)); d > eps+bound {
+				t.Fatalf("trial %d: id %d at true distance %v included beyond eps %v + bound %v", trial, nb.ID, d, eps, bound)
+			}
+		}
+		for i := 0; i < db.N(); i++ {
+			if d := m.Distance(q, db.Row(i)); d < eps-bound && !found[i] {
+				t.Fatalf("trial %d: id %d at true distance %v missing within eps %v - bound %v", trial, i, d, eps, bound)
+			}
+		}
+	}
+}

@@ -16,7 +16,11 @@
 // chunked float32 grade when Params.Rescore selects it — LSH candidates
 // are approximate to begin with, so the chunked grade's bounded relative
 // error (metric.ChunkedErrorBound) only perturbs razor-thin ranking ties
-// while the rescoring loop runs conversion-free.
+// while the rescoring loop runs conversion-free. metric.GradeQuantized
+// instead routes through the two-pass bruteforce.RescoreKQuantized:
+// candidates are pre-ranked over int8 codes and only the over-fetch
+// survivors are rescored exactly, so reported distances stay exact while
+// large bucket unions scan 1 byte per coordinate.
 package lsh
 
 import (
@@ -47,6 +51,8 @@ type Params struct {
 	// zero value is metric.GradeExact: reported distances match the
 	// brute-force reference). metric.GradeChunked trades bounded
 	// relative error for a conversion-free rescoring loop.
+	// metric.GradeQuantized pre-ranks candidates over an int8 view built
+	// at Build time and rescores the over-fetch survivors exactly.
 	Rescore metric.Grade
 }
 
@@ -64,9 +70,10 @@ func (p Params) withDefaults() Params {
 // of the structural limitations §2 notes relative to general-metric
 // methods like the RBC).
 type Index struct {
-	db  *vec.Dataset
-	prm Params
-	ker *metric.Kernel // candidate-rescoring kernel (Params.Rescore grade)
+	db    *vec.Dataset
+	prm   Params
+	ker   *metric.Kernel        // candidate-rescoring kernel (Params.Rescore grade)
+	qview *metric.QuantizedView // int8 codes over db, GradeQuantized only
 
 	// proj holds L*K projection vectors of dimension dim, row-major;
 	// offsets holds the matching L*K uniform shifts.
@@ -88,11 +95,18 @@ func Build(db *vec.Dataset, prm Params) (*Index, error) {
 	}
 	idx := &Index{
 		db: db, prm: prm,
-		ker:     metric.NewGradeKernel(metric.Euclidean{}, prm.Rescore),
 		proj:    make([]float64, prm.L*prm.K*db.Dim),
 		offsets: make([]float64, prm.L*prm.K),
 		tables:  make([]map[uint64][]int32, prm.L),
 		hseed:   maphash.MakeSeed(),
+	}
+	if prm.Rescore == metric.GradeQuantized {
+		// Two-pass rescoring: the int8 view pre-ranks candidates, and the
+		// exact kernel scores the survivors (RescoreKQuantized's pass 2).
+		idx.qview = metric.NewQuantizedView(db.Data, db.Dim)
+		idx.ker = metric.NewKernel(metric.Euclidean{})
+	} else {
+		idx.ker = metric.NewGradeKernel(metric.Euclidean{}, prm.Rescore)
 	}
 	for i := range idx.proj {
 		idx.proj[i] = rng.NormFloat64()
@@ -220,6 +234,9 @@ func (idx *Index) KNN(q []float32, k int) ([]par.Neighbor, int) {
 			seen[id] = struct{}{}
 			cands = append(cands, id)
 		}
+	}
+	if idx.qview != nil {
+		return bruteforce.RescoreKQuantized(idx.qview, q, idx.db, cands, k, metric.Euclidean{}, nil), len(cands)
 	}
 	return bruteforce.RescoreK(idx.ker, q, idx.db, cands, k, nil), len(cands)
 }

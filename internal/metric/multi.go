@@ -26,7 +26,7 @@ import (
 //
 // # Kernel grades
 //
-// A Kernel resolves a metric's tile implementation once. Three grades
+// A Kernel resolves a metric's tile implementation once. Four grades
 // exist, ordered by how much reproducibility they trade for speed:
 //
 //   - NewKernel (exact): per-pair arithmetic is bit-identical to the
@@ -49,8 +49,15 @@ import (
 //     ≈1e-5 at 2^11 dims), far more than the Gram grade's ulp drift; see
 //     chunked.go for the bound, the overflow caveat and the tile-shape
 //     stability guarantee.
+//   - NewQuantizedKernel (quantized): Euclidean scans int8 codes from a
+//     prebuilt QuantizedView — 1 byte per coordinate instead of 4, an
+//     integer multiply-accumulate inner loop, and an ADDITIVE error bound
+//     (QuantErrorBound) instead of a relative one. Built for the
+//     memory-bound regime (n ≫ cache); candidate distances are
+//     approximate and consumers restore exactness by rescoring with an
+//     exact kernel. See quant.go.
 //
-// Both fast grades report IsFast() == true. Consumers whose outputs are
+// All fast grades report IsFast() == true. Consumers whose outputs are
 // reported answers under a bit-reproducibility contract (core.Exact
 // phase 2, the distributed shard scans, range searches) must use the
 // exact grade and guard with !IsFast(); consumers that only need a
@@ -132,6 +139,7 @@ func TileShape(dim int) (tq, tp int) {
 type TileScratch struct {
 	wq, wp []float64
 	qn, pn []float64
+	qc     []int8 // quantized query codes (quantized grade only)
 }
 
 var tileScratchPool = sync.Pool{New: func() any { return new(TileScratch) }}
@@ -161,6 +169,9 @@ const (
 	// GradeChunked is chunked float32 accumulation (bounded relative
 	// error, ChunkedErrorBound).
 	GradeChunked
+	// GradeQuantized is int8 scalar quantization with integer
+	// multiply-accumulate (bounded additive error, QuantErrorBound).
+	GradeQuantized
 )
 
 // String implements fmt.Stringer.
@@ -172,6 +183,8 @@ func (g Grade) String() string {
 		return "fast"
 	case GradeChunked:
 		return "chunked"
+	case GradeQuantized:
+		return "quantized"
 	}
 	return "unknown"
 }
@@ -182,6 +195,8 @@ type Kernel struct {
 	m       Metric[[]float32]
 	fast    bool
 	chunked bool
+	quant   bool
+	qv      *QuantizedView // prebuilt codes (quantized grade; may be nil)
 	euclid  bool
 	bm      BatchMulti
 	ob      OrderingBatch
@@ -204,13 +219,32 @@ func NewFastKernel(m Metric[[]float32]) *Kernel { return newKernel(m, true, fals
 // behave exactly like their NewFastKernel form.
 func NewChunkedKernel(m Metric[[]float32]) *Kernel { return newKernel(m, true, true) }
 
-// NewGradeKernel returns the kernel for m at the requested grade.
+// NewQuantizedKernel returns the quantized-grade kernel for m bound to a
+// prebuilt view (built once over the point matrix the kernel will scan).
+// Tile and Ordering recognize whole-row sub-blocks of the view's source
+// buffer and score them from the int8 codes; any other point block is
+// quantized on the fly (correct, but it pays the O(rows·dim) view build
+// per call). v may be nil, in which case every call takes the on-the-fly
+// path. Metrics without a quantized implementation (non-Euclidean)
+// behave exactly like their NewFastKernel form.
+func NewQuantizedKernel(m Metric[[]float32], v *QuantizedView) *Kernel {
+	k := newKernel(m, true, false)
+	k.quant = true
+	k.qv = v
+	return k
+}
+
+// NewGradeKernel returns the kernel for m at the requested grade. The
+// quantized grade is returned without a prebuilt view (see
+// NewQuantizedKernel for the viewless cost model).
 func NewGradeKernel(m Metric[[]float32], g Grade) *Kernel {
 	switch g {
 	case GradeFast:
 		return NewFastKernel(m)
 	case GradeChunked:
 		return NewChunkedKernel(m)
+	case GradeQuantized:
+		return NewQuantizedKernel(m, nil)
 	default:
 		return NewKernel(m)
 	}
@@ -240,6 +274,8 @@ func (k *Kernel) IsFast() bool { return k.fast }
 // Grade reports the kernel's arithmetic grade.
 func (k *Kernel) Grade() Grade {
 	switch {
+	case k.quant:
+		return GradeQuantized
 	case k.chunked:
 		return GradeChunked
 	case k.fast:
@@ -247,6 +283,9 @@ func (k *Kernel) Grade() Grade {
 	}
 	return GradeExact
 }
+
+// View returns the kernel's prebuilt quantized view, or nil.
+func (k *Kernel) View() *QuantizedView { return k.qv }
 
 // ToDistance converts an ordering distance to the true distance.
 func (k *Kernel) ToDistance(o float64) float64 {
@@ -278,7 +317,7 @@ func (k *Kernel) OrderingBound(d float64) float64 {
 	switch {
 	case k.ord == nil:
 		return d
-	case k.euclid && !k.chunked:
+	case k.euclid && !k.chunked && !k.quant:
 		return math.Nextafter(d*d, math.Inf(1))
 	default:
 		return math.Inf(1)
@@ -286,11 +325,11 @@ func (k *Kernel) OrderingBound(d float64) float64 {
 }
 
 // NeedsNorms reports whether Tile consumes precomputed squared norms
-// (the Gram fast path; the chunked grade reads the float32 rows directly
-// and has no use for norms). Callers that hold a dataset across many
-// searches should precompute them once with Norms and pass them to every
-// Tile call.
-func (k *Kernel) NeedsNorms() bool { return k.fast && k.euclid && !k.chunked }
+// (the Gram fast path; the chunked and quantized grades read their own
+// representations directly and have no use for norms). Callers that hold
+// a dataset across many searches should precompute them once with Norms
+// and pass them to every Tile call.
+func (k *Kernel) NeedsNorms() bool { return k.fast && k.euclid && !k.chunked && !k.quant }
 
 // Norms fills dst (grown as needed) with the per-row squared l2 norms of
 // flat and returns it. It returns nil when the kernel has no use for norms,
@@ -319,6 +358,11 @@ func (k *Kernel) Tile(qflat []float32, qn []float64, pflat []float32, pn []float
 		return
 	}
 	switch {
+	case k.euclid && k.quant:
+		// Quantized tile: int8 codes, integer MAC. Sub-blocks of the
+		// prebuilt view's source score from the stored codes; other point
+		// blocks are quantized on the fly (see quant.go).
+		k.quantTile(qflat, pflat, dim, nq, np, out, ts)
 	case k.euclid && k.chunked:
 		// Chunked float32 tile: consumes the float32 rows in place — no
 		// widening, no norms, no scratch. Per-pair arithmetic is shared
@@ -406,6 +450,8 @@ func (k *Kernel) Tile(qflat []float32, qn []float64, pflat []float32, pn []float
 // within ChunkedErrorBound of the reference).
 func (k *Kernel) Ordering(q, flat []float32, dim int, out []float64) {
 	switch {
+	case k.euclid && k.quant:
+		k.quantOrdering(q, flat, dim, out)
 	case k.euclid && k.chunked:
 		euclidChunkedRow(q, flat, dim, out)
 	case k.ob != nil:

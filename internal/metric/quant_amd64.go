@@ -1,0 +1,18 @@
+//go:build amd64
+
+package metric
+
+// useQuantAsm gates the AVX2 scan kernel. The asm path is bit-identical
+// to the pure-Go loop (integer accumulation is exact), so this is purely
+// a throughput switch.
+var useQuantAsm = x86HasAVX2()
+
+// x86HasAVX2 reports CPU and OS support for AVX2 (CPUID + XGETBV).
+// Implemented in quant_amd64.s.
+func x86HasAVX2() bool
+
+// quantScanRowsAsm is the AVX2 scan kernel; see quantScanRows for the
+// contract. Implemented in quant_amd64.s.
+//
+//go:noescape
+func quantScanRowsAsm(qc []int8, codes []int8, stride, rows int, out []int32)

@@ -1,0 +1,100 @@
+// AVX2 form of the quantized scan kernel. Sign-extend 16 int8 codes of
+// query and point to int16 lanes, subtract, VPMADDWD the differences with
+// themselves (pairwise d²+d² into 8 int32 lanes) and accumulate. Integer
+// accumulation is exact, so this path is bit-identical to the pure-Go
+// loop in quant.go. Strides are multiples of 16 (quantAlign), so there is
+// no scalar tail. Accumulators cannot overflow: each int32 lane receives
+// at most chunkDims/16 = 128 pairwise terms of at most 2·254².
+
+#include "textflag.h"
+
+// func quantScanRowsAsm(qc []int8, codes []int8, stride, rows int, out []int32)
+TEXT ·quantScanRowsAsm(SB), NOSPLIT, $0-88
+	MOVQ  qc_base+0(FP), SI
+	MOVQ  codes_base+24(FP), DX
+	MOVQ  stride+48(FP), CX
+	MOVQ  rows+56(FP), R8
+	MOVQ  out_base+64(FP), DI
+	TESTQ R8, R8
+	JE    done
+	MOVQ  CX, R10
+	ANDQ  $-32, R10          // 32-aligned portion of the stride
+
+row:
+	VPXOR Y0, Y0, Y0
+	VPXOR Y4, Y4, Y4
+	XORQ  AX, AX
+	TESTQ R10, R10
+	JE    tail
+
+blk32:
+	VPMOVSXBW (SI)(AX*1), Y1
+	VPMOVSXBW (DX)(AX*1), Y2
+	VPSUBW    Y2, Y1, Y3
+	VPMADDWD  Y3, Y3, Y3
+	VPADDD    Y3, Y0, Y0
+	VPMOVSXBW 16(SI)(AX*1), Y5
+	VPMOVSXBW 16(DX)(AX*1), Y6
+	VPSUBW    Y6, Y5, Y7
+	VPMADDWD  Y7, Y7, Y7
+	VPADDD    Y7, Y4, Y4
+	ADDQ      $32, AX
+	CMPQ      AX, R10
+	JLT       blk32
+
+tail:
+	CMPQ AX, CX
+	JGE  sum
+	VPMOVSXBW (SI)(AX*1), Y1
+	VPMOVSXBW (DX)(AX*1), Y2
+	VPSUBW    Y2, Y1, Y3
+	VPMADDWD  Y3, Y3, Y3
+	VPADDD    Y3, Y0, Y0
+
+sum:
+	VPADDD       Y4, Y0, Y0
+	VEXTRACTI128 $1, Y0, X1
+	VPADDD       X1, X0, X0
+	VPSHUFD      $0x4E, X0, X1
+	VPADDD       X1, X0, X0
+	VPSHUFD      $0xB1, X0, X1
+	VPADDD       X1, X0, X0
+	MOVQ         X0, AX
+	MOVL         AX, (DI)
+	ADDQ         $4, DI
+	ADDQ         CX, DX
+	DECQ         R8
+	JNE          row
+
+done:
+	VZEROUPPER
+	RET
+
+// func x86HasAVX2() bool
+TEXT ·x86HasAVX2(SB), NOSPLIT, $0-1
+	// CPUID.1:ECX — need OSXSAVE (bit 27) and AVX (bit 28).
+	MOVL $1, AX
+	XORL CX, CX
+	CPUID
+	MOVL CX, BX
+	ANDL $0x18000000, BX
+	CMPL BX, $0x18000000
+	JNE  no
+	// XGETBV — the OS must manage XMM and YMM state (XCR0 bits 1, 2).
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  no
+	// CPUID.7.0:EBX bit 5 — AVX2.
+	MOVL $7, AX
+	XORL CX, CX
+	CPUID
+	SHRL $5, BX
+	ANDL $1, BX
+	MOVB BX, ret+0(FP)
+	RET
+
+no:
+	MOVB $0, ret+0(FP)
+	RET

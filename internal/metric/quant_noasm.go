@@ -1,0 +1,12 @@
+//go:build !amd64
+
+package metric
+
+// Non-amd64 builds always take the portable loop.
+const useQuantAsm = false
+
+// quantScanRowsAsm is never called when useQuantAsm is false; this stub
+// keeps the common dispatch in quant.go compiling.
+func quantScanRowsAsm(qc, codes []int8, stride, rows int, out []int32) {
+	panic("metric: quantScanRowsAsm without asm support")
+}

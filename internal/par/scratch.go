@@ -22,6 +22,7 @@ import "sync"
 type Scratch struct {
 	f64   [8][]float64
 	f32   [2][]float32
+	i8    [2][]int8
 	ints  [6][]int
 	heaps [2]*KHeap
 	slab  []*KHeap
@@ -54,6 +55,16 @@ func (s *Scratch) Float32(slot, n int) []float32 {
 	}
 	s.f32[slot] = s.f32[slot][:n]
 	return s.f32[slot]
+}
+
+// Int8s returns a length-n int8 buffer for slot. Contents are
+// unspecified. Used by the quantized scan paths for encoded query codes.
+func (s *Scratch) Int8s(slot, n int) []int8 {
+	if cap(s.i8[slot]) < n {
+		s.i8[slot] = make([]int8, n)
+	}
+	s.i8[slot] = s.i8[slot][:n]
+	return s.i8[slot]
 }
 
 // Ints returns a length-n int buffer for slot. Contents are unspecified.

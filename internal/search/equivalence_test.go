@@ -34,8 +34,11 @@ import (
 //   - ORDERING-TIE RULE (distance bits pinned position by position, ids
 //     free within an equal-distance class but verified to achieve the
 //     class distance, no duplicates): the pruning RBC indexes against
-//     the reference. Rule (1) may prune a list at exactly γ_k, so a
-//     boundary tie can surface a different — equally correct — id.
+//     the reference — rule (1) may prune a list at exactly γ_k, so a
+//     boundary tie can surface a different — equally correct — id. Also
+//     the quantized two-pass scan: exact rescoring makes its reported
+//     distances bit-true, but the candidate heap may truncate a
+//     duplicate class at the over-fetch boundary.
 //   - ULP-TOLERANT tie rule: the tree baselines (kd-tree, cover tree)
 //     accumulate distances in a different association order, so their
 //     values can drift in trailing ulps; distances must match within
@@ -134,6 +137,14 @@ func checkEquivalence(t *testing.T, seed int64, dimSel, nSel, kSel uint8) {
 	want := make([][]par.Neighbor, nq)
 	for i := 0; i < nq; i++ {
 		want[i] = bruteforce.SearchOneK(queries.Row(i), db, k, m, nil)
+	}
+
+	// The quantized two-pass scan rescores survivors with the exact
+	// kernel, so its reported distances are bit-true against the
+	// reference at every rank; ids fall under the ordering-tie rule.
+	quant := bruteforce.SearchKQuantized(queries, db, k, m, nil)
+	for i := 0; i < nq; i++ {
+		assertOrderingTie(t, fmt.Sprintf("quantized two-pass query %d vs reference", i), quant[i], want[i], queries.Row(i), db, m)
 	}
 
 	// Assemble backends. Index builds reject empty databases — that IS

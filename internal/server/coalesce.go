@@ -12,13 +12,14 @@ import (
 // closed; handlers translate it to 503.
 var errShuttingDown = errors.New("server: shutting down")
 
-// call is one parked /query request awaiting a coalesced flush. The
-// flusher fills nbs/evals/batch (or err), marks released, and closes
-// done; released is only touched by the one goroutine running the
+// call is one parked /query or /range request awaiting a coalesced
+// flush. The flusher fills nbs/evals/batch (or err), marks released, and
+// closes done; released is only touched by the one goroutine running the
 // batch, so it needs no lock.
 type call struct {
 	point []float32
-	k     int
+	k     int     // /query: neighbors requested
+	eps   float64 // /range: search radius
 
 	nbs      []par.Neighbor
 	evals    int64

@@ -1,0 +1,120 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func postRange(s *Server, q []float32, eps float64) (*httptest.ResponseRecorder, queryResponse) {
+	raw, _ := json.Marshal(queryRequest{Point: q, Eps: eps})
+	req := httptest.NewRequest("POST", "/range", bytes.NewReader(raw))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	var resp queryResponse
+	_ = json.Unmarshal(rec.Body.Bytes(), &resp)
+	return rec, resp
+}
+
+// Coalesced /range responses must be bit-identical to the per-query
+// path, under real concurrency (run with -race). Mixed eps values
+// exercise the group-by-eps split.
+func TestCoalescedRangeMatchesPerQuery(t *testing.T) {
+	co, plain, db := newCoalescedServer(t, 600, 16, 200*time.Microsecond)
+	defer co.Close()
+	const workers = 8
+	const perWorker = 20
+	epsValues := []float64{0.5, 1.0, 2.0}
+	rng := rand.New(rand.NewSource(131))
+	queries := make([][]float32, workers*perWorker)
+	for i := range queries {
+		queries[i] = append([]float32(nil), db.Row(rng.Intn(db.N()))...)
+		for j := range queries[i] {
+			queries[i][j] += rng.Float32() * 0.1
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, workers*perWorker)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				q := queries[w*perWorker+i]
+				eps := epsValues[(w+i)%len(epsValues)]
+				rec, got := postRange(co, q, eps)
+				if rec.Code != http.StatusOK {
+					errs <- fmt.Sprintf("coalesced range: %d %s", rec.Code, rec.Body.String())
+					return
+				}
+				rec2, want := postRange(plain, q, eps)
+				if rec2.Code != http.StatusOK {
+					errs <- fmt.Sprintf("plain range: %d", rec2.Code)
+					return
+				}
+				if len(got.Neighbors) != len(want.Neighbors) {
+					errs <- fmt.Sprintf("q%d: neighbor count %d want %d", w*perWorker+i, len(got.Neighbors), len(want.Neighbors))
+					return
+				}
+				for p := range want.Neighbors {
+					if got.Neighbors[p] != want.Neighbors[p] {
+						errs <- fmt.Sprintf("q%d pos %d: %+v want %+v", w*perWorker+i, p, got.Neighbors[p], want.Neighbors[p])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+	st := co.rco.stats()
+	if st.Queries != workers*perWorker {
+		t.Fatalf("range coalescer saw %d queries, want %d", st.Queries, workers*perWorker)
+	}
+}
+
+// The /range queue has its own accounting: /query traffic must not move
+// range counters, and /stats reports both blocks.
+func TestRangeCoalesceStatsSeparate(t *testing.T) {
+	co, _, db := newCoalescedServer(t, 200, 4, time.Millisecond)
+	defer co.Close()
+	if rec, _ := postQuery(co, db.Row(0), 2); rec.Code != http.StatusOK {
+		t.Fatalf("query: %d", rec.Code)
+	}
+	if rec, _ := postRange(co, db.Row(1), 1.0); rec.Code != http.StatusOK {
+		t.Fatalf("range: %d", rec.Code)
+	}
+	req := httptest.NewRequest("GET", "/stats", nil)
+	rec := httptest.NewRecorder()
+	co.ServeHTTP(rec, req)
+	var st statsBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Coalesce.Enabled || !st.RangeCoalesce.Enabled {
+		t.Fatalf("stats blocks: %+v", st)
+	}
+	if st.Coalesce.Queries != 1 || st.RangeCoalesce.Queries != 1 {
+		t.Fatalf("queue counters crossed: query=%d range=%d", st.Coalesce.Queries, st.RangeCoalesce.Queries)
+	}
+}
+
+// After Close, coalesced /range requests fail fast with 503 instead of
+// parking forever.
+func TestRangeCoalesceShutdown(t *testing.T) {
+	co, _, db := newCoalescedServer(t, 100, 8, time.Millisecond)
+	co.Close()
+	rec, _ := postRange(co, db.Row(0), 1.0)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("post-close range: %d", rec.Code)
+	}
+}

@@ -16,7 +16,11 @@
 // shares one tiled front half (and one lock acquisition) instead of n.
 // The per-response "evals" field reports an equal share of the batch's
 // aggregate work and "batch" reports the realized batch size; the
-// /stats endpoint exposes flush counters for tuning the two knobs.
+// /stats endpoint exposes flush counters for tuning the two knobs. On
+// exact indexes, /range requests coalesce identically through a second
+// queue flushed via Exact.RangeBatch (grouped by eps, since RangeBatch
+// takes one radius per block), reported under "range_coalesce" in
+// /stats.
 //
 // Request bodies are decoded and validated before any lock is taken, so
 // a slow client cannot stall writers.
@@ -54,6 +58,7 @@ type Server struct {
 	oneshot *core.OneShot // non-nil in one-shot mode
 	mux     *http.ServeMux
 	co      *coalescer // non-nil when query coalescing is enabled
+	rco     *coalescer // non-nil when coalescing is enabled on an exact index (/range)
 }
 
 // Option configures a Server at construction time.
@@ -62,12 +67,17 @@ type Option func(*Server)
 // WithCoalescing parks concurrent /query requests and answers them in
 // batches of up to maxBatch queries, waiting at most maxWait for a batch
 // to fill (maxWait <= 0 selects 500µs). maxBatch <= 1 disables
-// coalescing. See the package comment for the latency/throughput
-// tradeoff.
+// coalescing. On an exact index, /range requests coalesce through a
+// second queue with the same knobs (RangeBatch takes one eps per block,
+// so mixed-eps traffic splits the flush like mixed-k /query traffic
+// does). See the package comment for the latency/throughput tradeoff.
 func WithCoalescing(maxBatch int, maxWait time.Duration) Option {
 	return func(s *Server) {
 		if maxBatch > 1 {
 			s.co = newCoalescer(maxBatch, maxWait, s.runBatch)
+			if s.exact != nil {
+				s.rco = newCoalescer(maxBatch, maxWait, s.runRangeBatch)
+			}
 		}
 	}
 }
@@ -98,6 +108,9 @@ func NewOneShot(db *vec.Dataset, m metric.Metric[[]float32], idx *core.OneShot, 
 func (s *Server) Close() {
 	if s.co != nil {
 		s.co.close()
+	}
+	if s.rco != nil {
+		s.rco.close()
 	}
 }
 
@@ -135,14 +148,15 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 type statsBody struct {
-	Mode     string        `json:"mode"`
-	Metric   string        `json:"metric"`
-	Points   int           `json:"points"`
-	Live     int           `json:"live"`
-	Dim      int           `json:"dim"`
-	NumReps  int           `json:"num_reps"`
-	Dirty    bool          `json:"dirty"`
-	Coalesce coalesceStats `json:"coalesce"`
+	Mode          string        `json:"mode"`
+	Metric        string        `json:"metric"`
+	Points        int           `json:"points"`
+	Live          int           `json:"live"`
+	Dim           int           `json:"dim"`
+	NumReps       int           `json:"num_reps"`
+	Dirty         bool          `json:"dirty"`
+	Coalesce      coalesceStats `json:"coalesce"`
+	RangeCoalesce coalesceStats `json:"range_coalesce"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -160,6 +174,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.RUnlock()
 	if s.co != nil {
 		body.Coalesce = s.co.stats()
+	}
+	if s.rco != nil {
+		body.RangeCoalesce = s.rco.stats()
 	}
 	writeJSON(w, http.StatusOK, body)
 }
@@ -301,6 +318,46 @@ func (s *Server) runBatch(batch []*call) {
 	}
 }
 
+// runRangeBatch executes one coalesced /range batch: group the parked
+// requests by eps (RangeBatch takes a single radius for the whole
+// block), run each group through Exact.RangeBatch under one read lock,
+// and fan the rows back out. Same release discipline as runBatch: every
+// done channel closes even if the index panics.
+func (s *Server) runRangeBatch(batch []*call) {
+	defer func() {
+		if r := recover(); r != nil {
+			for _, c := range batch {
+				if !c.released {
+					c.err = fmt.Errorf("batch range query failed: %v", r)
+					c.released = true
+					close(c.done)
+				}
+			}
+		}
+	}()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	byEps := make(map[float64][]*call, 1)
+	for _, c := range batch {
+		byEps[c.eps] = append(byEps[c.eps], c)
+	}
+	for eps, calls := range byEps {
+		ds := vec.New(s.db.Dim, len(calls))
+		for _, c := range calls {
+			ds.Append(c.point)
+		}
+		nbs, st := s.exact.RangeBatch(ds, eps)
+		share := st.TotalEvals() / int64(len(calls))
+		for i, c := range calls {
+			c.nbs = nbs[i]
+			c.evals = share
+			c.batch = len(batch)
+			c.released = true
+			close(c.done)
+		}
+	}
+}
+
 func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 	req, ok := s.decodePoint(w, r)
 	if !ok {
@@ -310,12 +367,26 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "eps must be non-negative")
 		return
 	}
-	s.mu.RLock()
 	if s.exact == nil {
-		s.mu.RUnlock()
 		writeError(w, http.StatusNotImplemented, "range search requires an exact index")
 		return
 	}
+	if s.rco != nil {
+		c := &call{point: req.Point, eps: req.Eps, done: make(chan struct{})}
+		if err := s.rco.submit(c); err != nil {
+			writeError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		if c.err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", c.err)
+			return
+		}
+		writeJSON(w, http.StatusOK, queryResponse{
+			Neighbors: neighborBodies(c.nbs), Evals: c.evals, Batch: c.batch,
+		})
+		return
+	}
+	s.mu.RLock()
 	nbs, st := s.exact.Range(req.Point, req.Eps)
 	s.mu.RUnlock()
 	writeJSON(w, http.StatusOK, queryResponse{Neighbors: neighborBodies(nbs), Evals: st.TotalEvals()})
