@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/metric"
 )
 
 func main() {
@@ -39,7 +40,7 @@ func main() {
 		queries  = flag.Int("queries", 200, "queries per experiment")
 		seed     = flag.Int64("seed", 20120501, "random seed")
 		repFac   = flag.Float64("repfactor", 2, "n_r multiplier on sqrt(n) for exact search")
-		kernel   = flag.String("kernel", "exact", "kernel grade for approximate-tolerant paths: exact, fast, chunked, or quantized (timed BF baselines, one-shot probe selection, LSH rescoring; exact answers stay exact; quantized runs the two-pass int8 scan — see the quant-sweep experiment for its n-sweep)")
+		kernel   = flag.String("kernel", "exact", "kernel grade, one of: exact | fast | chunked | quantized; applies to approximate-tolerant paths (timed BF baselines, one-shot probe selection, LSH rescoring; exact answers stay exact; quantized runs the two-pass int8 scan — see the quant-sweep experiment for its n-sweep); serving mode accepts only exact")
 		outDir   = flag.String("out", "", "directory for .txt/.csv outputs (optional)")
 		listOnly = flag.Bool("list", false, "list experiments and exit")
 
@@ -52,7 +53,22 @@ func main() {
 	)
 	flag.Parse()
 
+	// Validate -kernel up front, before any mode branch: an unknown grade
+	// must be rejected loudly, never silently defaulted, and serving mode
+	// must not silently ignore a non-exact request (its answers are served
+	// from the exact index, so accepting "-kernel chunked" there would
+	// just misreport what was measured).
+	grade, err := harness.Config{Kernel: *kernel}.Grade()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rbc-bench: %v\n", err)
+		os.Exit(2)
+	}
+
 	if *concurrency > 0 {
+		if grade != metric.GradeExact {
+			fmt.Fprintf(os.Stderr, "rbc-bench: serving mode answers on the exact grade only; -kernel %s is not supported with -concurrency\n", *kernel)
+			os.Exit(2)
+		}
 		err := runServeBench(serveBenchConfig{
 			n: *serveN, dim: *serveDim, concurrency: *concurrency,
 			secs: *serveSecs, batchMax: *serveBatch, batchWait: *serveWait,
@@ -73,10 +89,6 @@ func main() {
 	}
 
 	cfg := harness.Config{Scale: *scale, Queries: *queries, Seed: *seed, RepFactor: *repFac, Kernel: *kernel}
-	if _, err := cfg.Grade(); err != nil {
-		fmt.Fprintf(os.Stderr, "rbc-bench: %v\n", err)
-		os.Exit(2)
-	}
 	ids := selectExperiments(*expFlag)
 	if len(ids) == 0 {
 		fmt.Fprintln(os.Stderr, "rbc-bench: no experiments selected")

@@ -46,12 +46,18 @@ import (
 // widening), so 2 is the break-even point.
 const tileWasteFactor = 2
 
-// batchGrouped runs the grouped two-phase batch search for Exact.
+// batchGrouped runs the grouped two-phase batch search for Exact. Phase 1
+// runs on the fast kernel grade over the cached representative norms,
+// with every comparison bracketed by the certified slack — the same
+// scheme, in the same arithmetic, as the per-query back half (see
+// Exact.one for the correctness argument), so the two paths stay
+// bit-identical. Phase 2 and the seed rescores stay on the exact kernel:
+// their distances are the reported answers.
 func (e *Exact) batchGrouped(queries *vec.Dataset, k int, sink func(i int, h *par.KHeap)) Stats {
 	nq := queries.N()
 	nr := e.NumReps()
 	dim := e.db.Dim
-	tq, tp := metric.TileShape(dim)
+	tq, tp := metric.AutoTileShape(dim)
 	var agg Stats
 	var mu sync.Mutex
 	par.For(nq, 1, func(lo, hi int) {
@@ -60,12 +66,14 @@ func (e *Exact) batchGrouped(queries *vec.Dataset, k int, sink func(i int, h *pa
 		ts := metric.GetTileScratch()
 		defer metric.PutTileScratch(ts)
 		var local Stats
-		rows := sc.Float64(3, tq*nr)  // phase-1 ordering distances
-		tile := sc.Float64(4, tq*tp)  // shared kernel tile
-		dists := sc.Float64(0, tq*nr) // phase-1 true distances (pruning space)
-		bounds := sc.Float64(1, 2*tq) // per-query psiGamma, tripleBound
-		tIdx := sc.Ints(0, tq)        // per-list takers (tile-local query index)
-		tWin := sc.Ints(1, 2*tq)      // per-taker window [lo,hi)
+		rows := sc.Float64(3, tq*nr)    // phase-1 fast ordering distances
+		tile := sc.Float64(4, tq*tp)    // shared kernel tile
+		distsLo := sc.Float64(0, tq*nr) // phase-1 bracket lows (pruning space)
+		distsHi := sc.Float64(2, tq*nr) // phase-1 bracket highs (threshold space)
+		bounds := sc.Float64(1, 2*tq)   // per-query psiGamma, tripleBound
+		seedBuf := sc.Float64(5, 1)     // exact rescore cell for heap seeds
+		tIdx := sc.Ints(0, tq)          // per-list takers (tile-local query index)
+		tWin := sc.Ints(1, 2*tq)        // per-taker window [lo,hi)
 		for q0 := lo; q0 < hi; q0 += tq {
 			q1 := q0 + tq
 			if q1 > hi {
@@ -74,42 +82,69 @@ func (e *Exact) batchGrouped(queries *vec.Dataset, k int, sink func(i int, h *pa
 			bq := q1 - q0
 			qflat := queries.Data[q0*dim : q1*dim]
 
-			// Phase 1: tiled BF(Qtile, R), identical to TileFrontHalf.
-			qnorms := e.ker.Norms(qflat, dim, sc.Float64(6, bq))
+			// Phase 1: tiled fast-grade BF(Qtile, R), identical to
+			// TileFrontHalf over e.fker.
+			qnorms := e.fker.Norms(qflat, dim, sc.Float64(6, bq))
 			for r0 := 0; r0 < nr; r0 += tp {
 				r1 := r0 + tp
 				if r1 > nr {
 					r1 = nr
 				}
 				bp := r1 - r0
+				var pn []float64
+				if e.repNorms != nil {
+					pn = e.repNorms[r0:r1]
+				}
 				t := tile[:bq*bp]
-				e.ker.Tile(qflat, qnorms, e.repData.Data[r0*dim:r1*dim], nil, dim, t, ts)
+				e.fker.Tile(qflat, qnorms, e.repData.Data[r0*dim:r1*dim], pn, dim, t, ts)
 				for i := 0; i < bq; i++ {
 					copy(rows[i*nr+r0:i*nr+r1], t[i*bp:(i+1)*bp])
 				}
 			}
 			local.RepEvals += int64(bq * nr)
 
-			// Per-query pruning state and heap seeding (same math and same
-			// push order as the per-query back half).
+			// Per-query bracketing, pruning state and heap seeding (same
+			// math and same push order as the per-query back half; seed
+			// rescores run the exact row kernel and stay uncounted on both
+			// paths). The γ candidate set {j : rowLo[j] ≤ γ_k^hi} is
+			// rescored exactly, seeds the heap, and selects the exact
+			// γ_1/γ_k — see Exact.one for why that reproduces the
+			// all-exact path's γ's and kept multiset bit for bit.
 			heaps := sc.HeapSlab(bq, k)
 			for i := 0; i < bq; i++ {
 				ords := rows[i*nr : (i+1)*nr]
-				row := dists[i*nr : (i+1)*nr]
-				for j, o := range ords {
-					row[j] = e.ker.ToDistance(o)
+				rowLo := distsLo[i*nr : (i+1)*nr]
+				rowHi := distsHi[i*nr : (i+1)*nr]
+				var slack float64
+				if qnorms != nil {
+					slack = metric.GramOrderingSlack(dim, qnorms[i], e.maxRepNorm)
 				}
-				gamma1, gammaK := kthSmallest(row, k, sc)
+				for j, o := range ords {
+					rowLo[j], rowHi[j] = e.bracketOrd(o, slack)
+				}
+				_, gammaKHi := kthSmallest(rowHi, k, sc)
+				h := heaps[i]
+				qrow := qflat[i*dim : (i+1)*dim]
+				// cand is setup-local: GroupedScan re-carves slot 7 only
+				// after the whole setup loop finishes.
+				cand := sc.Float64(7, nr)[:0]
+				for j := range rowLo {
+					if rowLo[j] > gammaKHi {
+						continue
+					}
+					e.ker.Ordering(qrow, e.repData.Data[j*dim:(j+1)*dim], dim, seedBuf[:1])
+					d := e.ker.ToDistance(seedBuf[0])
+					rowLo[j], rowHi[j] = d, d
+					h.Push(e.repIDs[j], seedBuf[0])
+					cand = append(cand, d)
+				}
+				gamma1, gammaK := kthSmallest(cand, k, sc)
 				psiGamma := gammaK
 				if e.prm.ApproxEps > 0 {
 					psiGamma = gammaK / (1 + e.prm.ApproxEps)
 				}
 				bounds[2*i] = psiGamma
 				bounds[2*i+1] = 2*gammaK + gamma1
-				h := heaps[i]
-				for j := range ords {
-					h.Push(e.repIDs[j], ords[j])
-				}
 			}
 
 			// Phase 2, grouped: for each list, collect its takers and scan
@@ -129,21 +164,43 @@ func (e *Exact) batchGrouped(queries *vec.Dataset, k int, sink func(i int, h *pa
 				listLo, listHi := e.offsets[j], e.offsets[j+1]
 				takers := 0
 				for i := 0; i < bq; i++ {
-					d := dists[i*nr+j]
+					rowLo := distsLo[i*nr : (i+1)*nr]
+					rowHi := distsHi[i*nr : (i+1)*nr]
+					qrow := qflat[i*dim : (i+1)*dim]
+					dLo, dHi := rowLo[j], rowHi[j]
 					psiGamma, tripleBound := bounds[2*i], bounds[2*i+1]
-					if e.prm.PrunePsi && d >= psiGamma+e.radii[j] {
-						local.PrunedPsi++
-						continue
+					// Bracket-certified prune decisions with exact-rescore
+					// fallback for razor cases, identical to Exact.one.
+					if e.prm.PrunePsi {
+						t := psiGamma + e.radii[j]
+						if dLo >= t {
+							local.PrunedPsi++
+							continue
+						}
+						if dHi >= t {
+							if e.exactRepDist(qrow, j, rowLo, rowHi, seedBuf) >= t {
+								local.PrunedPsi++
+								continue
+							}
+						}
 					}
-					if e.prm.PruneTriple && !math.IsInf(tripleBound, 1) && d > tripleBound {
-						local.PrunedTriple++
-						continue
+					if e.prm.PruneTriple && !math.IsInf(tripleBound, 1) {
+						if rowLo[j] > tripleBound {
+							local.PrunedTriple++
+							continue
+						}
+						if rowHi[j] > tripleBound {
+							if e.exactRepDist(qrow, j, rowLo, rowHi, seedBuf) > tripleBound {
+								local.PrunedTriple++
+								continue
+							}
+						}
 					}
 					local.RepsKept++
 					wlo, whi := listLo, listHi
 					if e.prm.EarlyExit {
-						w := psiGamma
-						a, b := AdmissibleWindow(e.dists[listLo:listHi], d-w, d+w)
+						a, b := e.exactWindow(qrow, j, e.dists[listLo:listHi],
+							psiGamma, rowLo, rowHi, seedBuf)
 						wlo, whi = listLo+a, listLo+b
 					}
 					if wlo >= whi {
@@ -183,7 +240,7 @@ func (o *OneShot) batchGrouped(queries *vec.Dataset, k int, sink func(i int, h *
 	if probes > nr {
 		probes = nr
 	}
-	tq, tp := metric.TileShape(dim)
+	tq, tp := metric.AutoTileShape(dim)
 	var agg Stats
 	var mu sync.Mutex
 	par.For(nq, 1, func(lo, hi int) {

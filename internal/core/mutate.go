@@ -201,7 +201,10 @@ func (e *Exact) liveGammas(repDists []float64, k int, sc *par.Scratch) (float64,
 	if e.mut == nil || e.mut.numDeleted == 0 {
 		return kthSmallest(repDists, k, sc)
 	}
-	live := sc.Float64(2, len(repDists))[:0]
+	// Slot 5 (not 2): the caller's phase-1 brackets occupy slots 1–2 and
+	// must stay live past this call; slot 5 is only re-carved afterwards
+	// for the list-scan block buffer.
+	live := sc.Float64(5, len(repDists))[:0]
 	for j, d := range repDists {
 		if !e.mut.deleted[e.repIDs[j]] {
 			live = append(live, d)
@@ -214,11 +217,13 @@ func (e *Exact) liveGammas(repDists []float64, k int, sc *par.Scratch) (float64,
 }
 
 // scanOverflow feeds a representative's overflow members (respecting the
-// admissible window, which lives in distance space) to h as ordering
-// distances, and returns the number of distance evaluations. buf is a
-// caller-pooled buffer of length >= 1 (a local array here would escape
-// through the kernel's interface dispatch).
-func (e *Exact) scanOverflow(j int, q []float32, w float64, d float64, buf []float64, h func(id int, ord float64)) int64 {
+// admissible window [wLo, wHi], which lives in distance space — callers
+// derive it from the phase-1 distance bracket, so it already absorbs the
+// fast kernel's slack) to h as ordering distances, and returns the number
+// of distance evaluations. buf is a caller-pooled buffer of length >= 1
+// (a local array here would escape through the kernel's interface
+// dispatch).
+func (e *Exact) scanOverflow(j int, q []float32, wLo, wHi float64, buf []float64, h func(id int, ord float64)) int64 {
 	if e.mut == nil || len(e.mut.overflowIDs[j]) == 0 {
 		return 0
 	}
@@ -230,7 +235,7 @@ func (e *Exact) scanOverflow(j int, q []float32, w float64, d float64, buf []flo
 		}
 		if e.prm.EarlyExit {
 			od := e.mut.overflowDists[j][i]
-			if od < d-w || od > d+w {
+			if od < wLo || od > wHi {
 				continue
 			}
 		}

@@ -1,0 +1,191 @@
+package metric
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"testing"
+)
+
+// TestMain reports the resolved tile shape when RBC_REPORT_TILESHAPE is
+// set, so bench runs can record the shape that produced their numbers
+// (cmd/benchcmp parses the "autotile:" line into the baseline artifact).
+func TestMain(m *testing.M) {
+	if os.Getenv("RBC_REPORT_TILESHAPE") != "" {
+		b, src := TileBudget()
+		tq64, tp64 := AutoTileShape(64)
+		tq256, tp256 := AutoTileShape(256)
+		fmt.Printf("autotile: budget=%d source=%s dim64=%dx%d dim256=%dx%d\n",
+			b, src, tq64, tp64, tq256, tp256)
+	}
+	os.Exit(m.Run())
+}
+
+// setBudgetForTest pins the budget and returns a restore func, so
+// process-global autotile state cannot leak between tests.
+func setBudgetForTest(t *testing.T, budget int) {
+	t.Helper()
+	autoTile.mu.Lock()
+	prevB, prevS := autoTile.budget, autoTile.source
+	autoTile.mu.Unlock()
+	SetTileBudget(budget)
+	t.Cleanup(func() {
+		autoTile.mu.Lock()
+		autoTile.budget, autoTile.source = prevB, prevS
+		autoTile.mu.Unlock()
+	})
+}
+
+// TestShapeForBudgetDefaultMatchesTileShape: the refactor must preserve
+// the historical fixed shapes exactly — TileShape is the compatibility
+// surface other packages' baselines were tuned against.
+func TestShapeForBudgetDefaultMatchesTileShape(t *testing.T) {
+	for dim := 1; dim <= 8192; dim = dim*2 + 1 {
+		tq, tp := TileShape(dim)
+		btq, btp := shapeForBudget(defaultTileBudget, dim)
+		if tq != btq || tp != btp {
+			t.Fatalf("dim=%d: TileShape %dx%d, shapeForBudget(default) %dx%d", dim, tq, tp, btq, btp)
+		}
+	}
+	// Spot-check the historical values so a silent change to
+	// shapeForBudget cannot take TileShape with it.
+	for _, c := range []struct{ dim, tq, tp int }{
+		{64, 32, 256}, {256, 32, 64}, {784, 16, 20}, {4099, 4, 16},
+	} {
+		tq, tp := TileShape(c.dim)
+		if tq != c.tq || tp != c.tp {
+			t.Fatalf("dim=%d: TileShape %dx%d, want historical %dx%d", c.dim, tq, tp, c.tq, c.tp)
+		}
+	}
+}
+
+// TestTileBudgetClamp: env overrides and measurement results are clamped
+// into the range the tiled loops handle.
+func TestTileBudgetClamp(t *testing.T) {
+	if got := clampTileBudget(1); got != minTileBudget {
+		t.Fatalf("clamp(1) = %d, want %d", got, minTileBudget)
+	}
+	if got := clampTileBudget(1 << 30); got != maxTileBudget {
+		t.Fatalf("clamp(1<<30) = %d, want %d", got, maxTileBudget)
+	}
+	if got := clampTileBudget(defaultTileBudget); got != defaultTileBudget {
+		t.Fatalf("clamp(default) = %d, want %d", got, defaultTileBudget)
+	}
+}
+
+// TestSetTileBudgetPins: SetTileBudget overrides the resolved budget and
+// AutoTileShape follows it.
+func TestSetTileBudgetPins(t *testing.T) {
+	setBudgetForTest(t, 32768)
+	b, src := TileBudget()
+	if b != 32768 || src != "param" {
+		t.Fatalf("TileBudget = %d/%q, want 32768/param", b, src)
+	}
+	tq, tp := AutoTileShape(64)
+	wtq, wtp := shapeForBudget(32768, 64)
+	if tq != wtq || tp != wtp {
+		t.Fatalf("AutoTileShape(64) = %dx%d, want %dx%d", tq, tp, wtq, wtp)
+	}
+}
+
+// TestMeasureTileBudgetInGrid: the micro-measurement must pick a budget
+// from the grid (and terminate quickly enough to run in tests).
+func TestMeasureTileBudgetInGrid(t *testing.T) {
+	b := measureTileBudget()
+	for _, g := range tileBudgetGrid {
+		if b == g {
+			return
+		}
+	}
+	t.Fatalf("measureTileBudget = %d, not in grid %v", b, tileBudgetGrid)
+}
+
+// TestTileShapeInvarianceUnderBudgets: every kernel grade must produce
+// bit-identical tiles regardless of the tile shape consumers sweep with —
+// so an AutoTileShape override can never change answers. Emulates the
+// consumer loop at each grid budget and compares against the one-shot
+// full tile.
+func TestTileShapeInvarianceUnderBudgets(t *testing.T) {
+	rng := rand.New(rand.NewSource(406))
+	const dim, nq, np = 33, 9, 41
+	qflat := randFlat(rng, nq, dim)
+	pflat := randFlat(rng, np, dim)
+	for _, k := range []*Kernel{
+		NewKernel(Euclidean{}),
+		NewFastKernel(Euclidean{}),
+		NewChunkedKernel(Euclidean{}),
+	} {
+		qn := k.Norms(qflat, dim, nil)
+		pn := k.Norms(pflat, dim, nil)
+		want := make([]float64, nq*np)
+		k.Tile(qflat, qn, pflat, pn, dim, want, nil)
+		for _, budget := range tileBudgetGrid {
+			tq, tp := shapeForBudget(budget, dim)
+			got := make([]float64, nq*np)
+			sub := make([]float64, tq*tp)
+			for q0 := 0; q0 < nq; q0 += tq {
+				q1 := min(q0+tq, nq)
+				for p0 := 0; p0 < np; p0 += tp {
+					p1 := min(p0+tp, np)
+					bq, bp := q1-q0, p1-p0
+					var sqn, spn []float64
+					if qn != nil {
+						sqn, spn = qn[q0:q1], pn[p0:p1]
+					}
+					k.Tile(qflat[q0*dim:q1*dim], sqn, pflat[p0*dim:p1*dim], spn, dim, sub[:bq*bp], nil)
+					for i := 0; i < bq; i++ {
+						copy(got[(q0+i)*np+p0:(q0+i)*np+p1], sub[i*bp:(i+1)*bp])
+					}
+				}
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("budget=%d pair %d: tiled %v, full %v", budget, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestGramOrderingSlackBounds: the certified slack must dominate the
+// actual gram-vs-exact ordering discrepancy, including on tie-rich grids
+// (duplicates, where cancellation is exact) and across magnitude scales.
+func TestGramOrderingSlackBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(407))
+	exact := NewKernel(Euclidean{})
+	gram := NewFastKernel(Euclidean{})
+	for _, dim := range []int{1, 3, 17, 64, 784} {
+		for _, scale := range []float32{1e-3, 1, 1e3} {
+			const nq, np = 6, 24
+			qflat := randFlat(rng, nq, dim)
+			pflat := randFlat(rng, np, dim)
+			for i := range qflat {
+				qflat[i] *= scale
+			}
+			for i := range pflat {
+				pflat[i] *= scale
+			}
+			// Tie-rich: copy some queries into the point set so exact
+			// zeros and near-duplicates are exercised.
+			copy(pflat[0:dim], qflat[0:dim])
+			copy(pflat[dim:2*dim], qflat[0:dim])
+			qn := gram.Norms(qflat, dim, nil)
+			pn := gram.Norms(pflat, dim, nil)
+			ge := make([]float64, nq*np)
+			ex := make([]float64, nq*np)
+			gram.Tile(qflat, qn, pflat, pn, dim, ge, nil)
+			exact.Tile(qflat, nil, pflat, nil, dim, ex, nil)
+			for i := 0; i < nq; i++ {
+				for j := 0; j < np; j++ {
+					slack := GramOrderingSlack(dim, qn[i], pn[j])
+					diff := math.Abs(ge[i*np+j] - ex[i*np+j])
+					if diff > slack {
+						t.Fatalf("dim=%d scale=%g pair (%d,%d): |gram-exact| = %g exceeds slack %g",
+							dim, scale, i, j, diff, slack)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,33 @@
+//go:build amd64
+
+package metric
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBlockedAsmMatchesGo toggles the AVX2 body off and asserts the pure-Go
+// fallback produces bit-identical rows — the asm kernel and chunkedBodyGo
+// are two spellings of the same lane arithmetic, and this pins it.
+func TestBlockedAsmMatchesGo(t *testing.T) {
+	if !useChunkedAsm {
+		t.Skip("host has no AVX2; only the Go body is reachable")
+	}
+	rng := rand.New(rand.NewSource(405))
+	for _, dim := range blockedDims {
+		q := randFlat(rng, 1, dim)
+		flat := randFlat(rng, 11, dim)
+		asm := make([]float64, 11)
+		pure := make([]float64, 11)
+		euclidChunkedRowBlocked(q, flat, dim, asm)
+		useChunkedAsm = false
+		euclidChunkedRowBlocked(q, flat, dim, pure)
+		useChunkedAsm = true
+		for j := range asm {
+			if asm[j] != pure[j] {
+				t.Fatalf("dim=%d point %d: asm %v, go %v", dim, j, asm[j], pure[j])
+			}
+		}
+	}
+}

@@ -1,0 +1,35 @@
+//go:build amd64
+
+package metric
+
+// useChunkedAsm gates the AVX2 blocked chunk body. The asm path performs
+// the identical lane operations in the identical order as chunkedBodyGo
+// (packed single-precision subtract/multiply/add are elementwise IEEE
+// binary32, and neither side fuses the multiply-add), so this is purely a
+// throughput switch — results are bit-identical either way.
+var useChunkedAsm = x86HasAVX2()
+
+// chunkedBody4Asm accumulates the 8-lane float32 sums of squared
+// differences of q against r0..r3 over the first n elements (n a positive
+// multiple of 8), four point columns per pass. Implemented in
+// chunked_amd64.s.
+//
+//go:noescape
+func chunkedBody4Asm(q, r0, r1, r2, r3 *float32, n int, lanes *[4][8]float32)
+
+// chunkedBody4 runs the aligned chunk body for four rows at once: the
+// AVX2 kernel when the host supports it, the portable lane loop
+// otherwise. lanes must be zeroed by the caller; nb is a multiple of 8.
+func chunkedBody4(q, r0, r1, r2, r3 []float32, nb int, lanes *[4][8]float32) {
+	if nb == 0 {
+		return
+	}
+	if useChunkedAsm {
+		chunkedBody4Asm(&q[0], &r0[0], &r1[0], &r2[0], &r3[0], nb, lanes)
+		return
+	}
+	chunkedBodyGo(q, r0, nb, &lanes[0])
+	chunkedBodyGo(q, r1, nb, &lanes[1])
+	chunkedBodyGo(q, r2, nb, &lanes[2])
+	chunkedBodyGo(q, r3, nb, &lanes[3])
+}

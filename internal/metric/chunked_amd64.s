@@ -1,0 +1,56 @@
+#include "textflag.h"
+
+// func chunkedBody4Asm(q, r0, r1, r2, r3 *float32, n int, lanes *[4][8]float32)
+// Accumulates the 8-lane float32 sums of squared differences over the
+// first n elements (n a multiple of 8) of q against each of r0..r3:
+// lanes[t][l] = sum over j≡l (mod 8), j<n of (q[j]-rt[j])² accumulated in
+// j order — the exact per-lane sequence of the scalar chunked loop. The
+// query vector is loaded once per pass and shared by all four columns
+// (the register-blocking win); VSUBPS/VMULPS/VADDPS are elementwise IEEE
+// binary32, so every lane matches chunkedBodyGo bit for bit. No FMA: the
+// scalar Go loop does not fuse either, and fusing here would change bits.
+TEXT ·chunkedBody4Asm(SB), NOSPLIT, $0-56
+	MOVQ q+0(FP), SI
+	MOVQ r0+8(FP), R9
+	MOVQ r1+16(FP), R10
+	MOVQ r2+24(FP), R11
+	MOVQ r3+32(FP), R12
+	MOVQ n+40(FP), BX
+	MOVQ lanes+48(FP), DI
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+	VXORPS Y4, Y4, Y4
+	XORQ AX, AX
+	TESTQ BX, BX
+	JE   store
+
+loop:
+	VMOVUPS (SI)(AX*4), Y0
+	VMOVUPS (R9)(AX*4), Y5
+	VSUBPS  Y5, Y0, Y5
+	VMULPS  Y5, Y5, Y5
+	VADDPS  Y5, Y1, Y1
+	VMOVUPS (R10)(AX*4), Y6
+	VSUBPS  Y6, Y0, Y6
+	VMULPS  Y6, Y6, Y6
+	VADDPS  Y6, Y2, Y2
+	VMOVUPS (R11)(AX*4), Y7
+	VSUBPS  Y7, Y0, Y7
+	VMULPS  Y7, Y7, Y7
+	VADDPS  Y7, Y3, Y3
+	VMOVUPS (R12)(AX*4), Y8
+	VSUBPS  Y8, Y0, Y8
+	VMULPS  Y8, Y8, Y8
+	VADDPS  Y8, Y4, Y4
+	ADDQ $8, AX
+	CMPQ AX, BX
+	JLT  loop
+
+store:
+	VMOVUPS Y1, (DI)
+	VMOVUPS Y2, 32(DI)
+	VMOVUPS Y3, 64(DI)
+	VMOVUPS Y4, 96(DI)
+	VZEROUPPER
+	RET

@@ -1,0 +1,16 @@
+//go:build !amd64
+
+package metric
+
+// chunkedBody4 runs the aligned chunk body for four rows at once through
+// the portable lane loop. lanes must be zeroed by the caller; nb is a
+// multiple of 8.
+func chunkedBody4(q, r0, r1, r2, r3 []float32, nb int, lanes *[4][8]float32) {
+	if nb == 0 {
+		return
+	}
+	chunkedBodyGo(q, r0, nb, &lanes[0])
+	chunkedBodyGo(q, r1, nb, &lanes[1])
+	chunkedBodyGo(q, r2, nb, &lanes[2])
+	chunkedBodyGo(q, r3, nb, &lanes[3])
+}

@@ -1,0 +1,55 @@
+// Package metric defines the distance abstractions used by the RBC, the
+// brute-force primitive and the baselines.
+//
+// The paper's algorithms work over arbitrary metric spaces, so the central
+// type is the generic Metric[P] interface. Dense float32 vectors get two
+// fast paths:
+//
+//   - Batch: distances from one query to a contiguous block of points
+//     (the matrix-vector shape), plus OrderingBatch, its squared-distance
+//     companion;
+//   - BatchMulti: distances from a block of queries to a block of points
+//     into a row-major tile (the matrix-matrix shape of BF(Q,X)), resolved
+//     per metric through the Kernel type.
+//
+// The tile kernels work in *ordering distance* space — a strictly monotone
+// surrogate of the distance (squared for l2) that keeps the inner loop
+// FMA-shaped — with conversion at the API boundary via the Orderer
+// interface.
+//
+// # Kernel grades
+//
+// Four kernel grades exist, trading reproducibility for throughput:
+//
+//   - exact: bit-reproducible float64 diff-square accumulation. The
+//     reference grade; all reported distances come from here.
+//   - Gram-fast: float64 Gram decomposition ‖q‖²+‖p‖²−2q·p over cached
+//     norms; drifts from exact by at most GramOrderingSlack, so consumers
+//     can bracket its orderings and make prune decisions that provably
+//     agree with the exact grade.
+//   - chunked: 8-lane float32 accumulation in chunks of at most 2¹¹
+//     dims, folded to float64 per chunk; relative error bounded by
+//     ChunkedErrorBound. Above a small point count the row scan is
+//     register-blocked — four point columns per query pass sharing one
+//     query load (AVX2 on amd64, pure Go elsewhere) — with the lane
+//     structure untouched, so blocked and unblocked rows are
+//     bit-identical and Tile≡Ordering still holds. See chunked.go for
+//     both derivations.
+//   - quantized: int8 codes with integer MAC (AVX2 on amd64) plus exact
+//     rescoring; see quant.go.
+//
+// See multi.go for the ordering contract and grade dispatch.
+//
+// # Tile shape autotuning
+//
+// The tiled consumer loops size their tiles via AutoTileShape, which
+// resolves a per-tile footprint budget once per process: a valid
+// RBC_TILE_BUDGET env var pins it (the reproducibility hook — CI and
+// bench baselines set it so shape changes never masquerade as kernel
+// regressions); otherwise a micro-measurement over a small budget grid
+// picks the fastest shape for the host (~ms, once). TileBudget reports
+// the resolved value and its provenance for bench artifacts; TileShape
+// remains as the fixed historical reference shape. Shape can never
+// change results: every grade is tile-shape invariant by construction,
+// and the invariance tests sweep the full grid. See autotile.go.
+package metric

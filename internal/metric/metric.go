@@ -1,25 +1,3 @@
-// Package metric defines the distance abstractions used by the RBC, the
-// brute-force primitive and the baselines.
-//
-// The paper's algorithms work over arbitrary metric spaces, so the central
-// type is the generic Metric[P] interface. Dense float32 vectors get two
-// fast paths:
-//
-//   - Batch: distances from one query to a contiguous block of points
-//     (the matrix-vector shape), plus OrderingBatch, its squared-distance
-//     companion;
-//   - BatchMulti: distances from a block of queries to a block of points
-//     into a row-major tile (the matrix-matrix shape of BF(Q,X)), resolved
-//     per metric through the Kernel type.
-//
-// The tile kernels work in *ordering distance* space — a strictly monotone
-// surrogate of the distance (squared for l2) that keeps the inner loop
-// FMA-shaped — with conversion at the API boundary via the Orderer
-// interface. Three kernel grades exist — exact (bit-reproducible),
-// Gram-fast (float64 Gram decomposition, ulp drift) and chunked-fast
-// (float32 chunked accumulation, bounded relative error) — see multi.go
-// for the ordering contract and grade semantics, and chunked.go for the
-// chunked error bound derivation.
 package metric
 
 // Metric is a distance function over points of type P. Implementations

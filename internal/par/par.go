@@ -16,6 +16,23 @@ import (
 // GOMAXPROCS at call time.
 func Workers() int { return runtime.GOMAXPROCS(0) }
 
+// Spawn grains for this package's own parallel loops. A goroutine
+// hand-off costs on the order of a microsecond, so a block must carry at
+// least a few microseconds of work to win; the constants below encode
+// that break-even for each loop body, measured on the row/tile kernels
+// this package feeds (see the BenchmarkRowKernel* sweep in
+// internal/metric).
+const (
+	// ArgMinGrain: a float64 compare-scan runs at roughly 1 element/ns,
+	// so 1024 elements ≈ 1µs per block — the spawn break-even.
+	ArgMinGrain = 1024
+
+	// treeReduceGrain: combine calls are opaque (function-valued), so the
+	// grain assumes a heavier body than ArgMin's compare — 64 combines of
+	// ~tens of ns each reach the same few-µs block cost.
+	treeReduceGrain = 64
+)
+
 // For runs fn over the index range [0,n) split into contiguous blocks, one
 // goroutine per block, with at most Workers() blocks and at least minGrain
 // indices per block. fn is called as fn(lo,hi) with lo < hi. Blocks are
@@ -85,7 +102,7 @@ func TreeReduce[T any](xs []T, combine func(a, b T) T) T {
 	copy(buf, xs)
 	for len(buf) > 1 {
 		half := (len(buf) + 1) / 2
-		ForEach(len(buf)/2, 64, func(i int) {
+		ForEach(len(buf)/2, treeReduceGrain, func(i int) {
 			buf[i] = combine(buf[2*i], buf[2*i+1])
 		})
 		if len(buf)%2 == 1 {
@@ -111,7 +128,7 @@ func ArgMin(dists []float64) (idx int, val float64) {
 		val float64
 	}
 	workers := Workers()
-	blocks := n / 1024
+	blocks := n / ArgMinGrain
 	if blocks > workers {
 		blocks = workers
 	}

@@ -43,6 +43,76 @@ func TestForSmallRangeRunsInline(t *testing.T) {
 	}
 }
 
+// TestForNeverSpawnsSubGrain pins the grain contract the cost-model
+// constants rely on: whenever For splits the range, every block carries at
+// least minGrain indices, so a tuned grain can never be silently diluted
+// into sub-break-even spawns.
+func TestForNeverSpawnsSubGrain(t *testing.T) {
+	for _, n := range []int{1, 7, 63, 64, 65, 127, 128, 1000, 4096, 100000} {
+		for _, grain := range []int{1, 8, 64, 1024} {
+			var blocks int32
+			var minBlock int64 = int64(n) + 1
+			For(n, grain, func(lo, hi int) {
+				atomic.AddInt32(&blocks, 1)
+				for {
+					cur := atomic.LoadInt64(&minBlock)
+					if int64(hi-lo) >= cur || atomic.CompareAndSwapInt64(&minBlock, cur, int64(hi-lo)) {
+						break
+					}
+				}
+			})
+			if blocks > 1 && minBlock < int64(grain) {
+				t.Fatalf("n=%d grain=%d: %d blocks, smallest %d < grain", n, grain, blocks, minBlock)
+			}
+		}
+	}
+}
+
+// TestForInlineBelowTwiceGrain: with fewer than two grains of work there is
+// nothing to split, so For must run the callback inline — once, covering
+// the whole range, without allocating.
+func TestForInlineBelowTwiceGrain(t *testing.T) {
+	const grain = 64
+	n := 2*grain - 1
+	calls := 0
+	For(n, grain, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != n {
+			t.Fatalf("block [%d,%d), want [0,%d)", lo, hi, n)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("calls=%d, want 1 (inline)", calls)
+	}
+	fn := func(lo, hi int) {}
+	if allocs := testing.AllocsPerRun(100, func() { For(n, grain, fn) }); allocs != 0 {
+		t.Fatalf("inline For allocated %v times per run", allocs)
+	}
+}
+
+// TestArgMinSubGrainAllocFree: below two grains ArgMin must take the
+// sequential scan path with zero allocations — the common case for
+// per-query √n-sized representative rows.
+func TestArgMinSubGrainAllocFree(t *testing.T) {
+	dists := make([]float64, 2*ArgMinGrain-1)
+	for i := range dists {
+		dists[i] = float64((i*2654435761 + 17) % 1000003)
+	}
+	wantIdx, wantVal := 0, dists[0]
+	for i, v := range dists {
+		if v < wantVal {
+			wantIdx, wantVal = i, v
+		}
+	}
+	idx, val := ArgMin(dists)
+	if idx != wantIdx || val != wantVal {
+		t.Fatalf("ArgMin=(%d,%v), want (%d,%v)", idx, val, wantIdx, wantVal)
+	}
+	if allocs := testing.AllocsPerRun(100, func() { ArgMin(dists) }); allocs != 0 {
+		t.Fatalf("sub-grain ArgMin allocated %v times per run", allocs)
+	}
+}
+
 func TestForZeroAndNegative(t *testing.T) {
 	called := false
 	For(0, 1, func(lo, hi int) { called = true })

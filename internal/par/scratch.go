@@ -11,10 +11,14 @@ import "sync"
 // use distinct slots. Requesting a slot again invalidates its previous
 // contents (the backing array is reused). Within internal/core the slot
 // ownership convention is: float64 0–2 and 5 belong to the per-query back
-// half (phase-1 orderings, converted distances, live-gamma buffer,
-// list-scan block), 3–4 and 6 to the batched front half (rows, tile,
-// query norms). core.GroupedScan reserves float64 slot 7, float32 slot 0
-// and int slots 2–3 for its block bookkeeping; grouped-scan callers own
+// half (phase-1 orderings, bracket lows, bracket highs; slot 5 is
+// time-shared between the live-gamma buffer and the list-scan block that
+// is carved after it), 3–4 and 6 to the batched front half (rows, tile,
+// query norms). Float64 slot 7 is time-shared: the back halves use it
+// during per-query setup (the exact γ candidate buffer) and
+// core.GroupedScan — which only ever runs after setup completes —
+// re-carves it along with float32 slot 0 and int slots 2–3 for its block
+// bookkeeping. Grouped-scan callers own
 // int slots 0–1 (taker ids, taker windows) and 4–5 (segment grouping),
 // plus float64 slot 0 for per-taker window bounds that must stay live
 // across GroupedScan calls (free in that context: the per-query back
