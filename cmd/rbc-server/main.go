@@ -4,6 +4,15 @@
 //	rbc-server -data robot.rbcv -mode exact -addr :8080
 //	curl -s localhost:8080/stats
 //	curl -s -XPOST localhost:8080/query -d '{"point":[0.1,...],"k":5}'
+//
+// With -data-dir the exact mode serves durably: mutations are
+// write-ahead logged (fsynced per -wal-sync) and snapshots commit via
+// POST /snapshot or the -snapshot-every timer. On restart the server
+// recovers from the committed snapshot plus WAL replay; -data is then
+// only needed to bootstrap a fresh directory. See internal/server's
+// durability documentation for the recovery contract.
+//
+//	rbc-server -data robot.rbcv -data-dir /var/lib/rbc -wal-sync always
 package main
 
 import (
@@ -19,11 +28,16 @@ import (
 	rbc "repro"
 	"repro/internal/server"
 	"repro/internal/vec"
+	"repro/internal/wal"
 )
 
 func main() {
 	var (
-		dataPath  = flag.String("data", "", "dataset file (RBCV binary; required)")
+		dataPath  = flag.String("data", "", "dataset file (RBCV binary; required unless -data-dir holds a snapshot)")
+		dataDir   = flag.String("data-dir", "", "durability directory (WAL + snapshots; exact mode only)")
+		walSync   = flag.String("wal-sync", "always", "WAL fsync policy: always, interval, or none")
+		walEvery  = flag.Duration("wal-sync-every", 50*time.Millisecond, "group-commit interval under -wal-sync interval")
+		snapEvery = flag.Duration("snapshot-every", 0, "periodic snapshot interval (0 disables; POST /snapshot always works)")
 		mode      = flag.String("mode", "exact", "index type: exact or oneshot")
 		numReps   = flag.Int("reps", 0, "number of representatives (0 = sqrt(n))")
 		seed      = flag.Int64("seed", 1, "random seed")
@@ -32,13 +46,17 @@ func main() {
 		batchWait = flag.Duration("batch-wait", 500*time.Microsecond, "max time a query parks waiting for its batch to fill")
 	)
 	flag.Parse()
-	if *dataPath == "" {
-		fmt.Fprintln(os.Stderr, "rbc-server: -data is required")
+	if *dataPath == "" && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "rbc-server: -data is required (or -data-dir with an existing snapshot)")
 		os.Exit(2)
 	}
-	db, err := vec.LoadFile(*dataPath)
-	if err != nil {
-		log.Fatalf("rbc-server: %v", err)
+	var db *vec.Dataset
+	var err error
+	if *dataPath != "" {
+		db, err = vec.LoadFile(*dataPath)
+		if err != nil {
+			log.Fatalf("rbc-server: %v", err)
+		}
 	}
 	m := rbc.Euclidean()
 	coalesce := server.WithCoalescing(*batchMax, *batchWait)
@@ -46,7 +64,24 @@ func main() {
 	start := time.Now()
 	switch *mode {
 	case "exact":
-		idx, err := rbc.BuildExact(db, m, rbc.ExactParams{NumReps: *numReps, Seed: *seed, EarlyExit: true})
+		prm := rbc.ExactParams{NumReps: *numReps, Seed: *seed, EarlyExit: true}
+		if *dataDir != "" {
+			sm, err := wal.ParseSyncMode(*walSync)
+			if err != nil {
+				log.Fatalf("rbc-server: %v", err)
+			}
+			var replay wal.ReplayStats
+			srv, replay, err = server.OpenDurable(db, m, prm, server.DurabilityOptions{
+				Dir: *dataDir, Sync: sm, SyncEvery: *walEvery, SnapshotEvery: *snapEvery,
+			}, coalesce)
+			if err != nil {
+				log.Fatalf("rbc-server: %v", err)
+			}
+			log.Printf("durable exact index from %s: %d records replayed (%d bytes truncated), ready in %v",
+				*dataDir, replay.Records, replay.TruncatedBytes, time.Since(start))
+			break
+		}
+		idx, err := rbc.BuildExact(db, m, prm)
 		if err != nil {
 			log.Fatalf("rbc-server: %v", err)
 		}
@@ -54,6 +89,9 @@ func main() {
 		log.Printf("exact index: %d points, %d representatives (built in %v)",
 			db.N(), idx.NumReps(), time.Since(start))
 	case "oneshot":
+		if *dataDir != "" {
+			log.Fatalf("rbc-server: -data-dir requires -mode exact (one-shot indexes are read-only)")
+		}
 		idx, err := rbc.BuildOneShot(db, m, rbc.OneShotParams{NumReps: *numReps, Seed: *seed})
 		if err != nil {
 			log.Fatalf("rbc-server: %v", err)

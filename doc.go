@@ -66,6 +66,32 @@
 // equivalence fuzz harness (repro/internal/search) pins all of this
 // against the brute-force reference.
 //
+// # Durable mutable serving
+//
+// Exact is online-mutable: Insert appends a point and splices it into
+// its owner's sorted insertion buffer (binary search on the (dist, id)
+// key, so admissible windows stay valid), Delete tombstones an id, and
+// neither changes a single answer bit relative to a from-scratch
+// rebuild over the live rows — pending buffers are scanned with the
+// same window math as merged segments, and a buffer that reaches
+// ExactParams.BufferMerge rows is folded into its segment's flat
+// columns by one targeted back-to-front merge, never a full rebuild.
+// Flush folds all buffers eagerly; Rebuild recompacts everything
+// (tombstones stay, ids are stable for the life of the index).
+//
+// The HTTP server persists mutations when opened through
+// server.OpenDurable (rbc-server -data-dir): every /insert and /delete
+// is appended to a CRC-checked write-ahead log and fsynced per the
+// -wal-sync policy BEFORE it is applied and acknowledged, so under
+// "always" an acknowledged mutation survives SIGKILL. POST /snapshot
+// (or -snapshot-every) writes the index image and commits it by
+// atomically renaming CURRENT to the new generation, after which the
+// old generation's log is removed — the recovery contract and file
+// layout are documented in repro/internal/server. A crash-recovery
+// suite (kill-and-replay with child processes, torn-write fault
+// injection, mutate/query history equivalence) locks the contract down
+// in CI.
+//
 // # Tiled kernels and squared-distance ordering
 //
 // The brute-force primitive BF(Q,X) underneath every index is a tiled

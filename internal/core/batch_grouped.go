@@ -36,7 +36,7 @@ import (
 // statistics stay comparable between per-query and batched search.
 //
 // The grouped path requires a pristine index: dynamic state (tombstones,
-// overflow lists) falls back to the per-query back half, which knows how
+// insertion buffers) falls back to the per-query back half, which knows how
 // to consult it.
 
 // tileWasteFactor bounds how many surplus pairs a phase-2 tile may

@@ -36,6 +36,12 @@ type ExactParams struct {
 	// ρ(q,x*) ≥ ρ(q,r) − ψ_r ≥ γ/(1+ε), while the returned distance is at
 	// most γ. This is the footnote-1 variant of the paper.
 	ApproxEps float64
+	// BufferMerge bounds each representative's insertion buffer: a buffer
+	// reaching this size is merged into its sorted segment (a targeted
+	// per-segment re-sort; see mutate.go). Zero selects DefaultBufferMerge;
+	// negative disables automatic merging (buffers grow until Flush or
+	// Rebuild). Answers are invariant to this knob.
+	BufferMerge int
 }
 
 // Spawn grains for the build loops. A goroutine hand-off costs on the
@@ -103,9 +109,12 @@ type Exact struct {
 	dists   []float64 // position → ρ(x, rep), ascending within each list
 	gather  []float32 // position-aligned gathered vectors
 
-	// mut holds dynamic-update state (overflow lists, tombstones); nil
-	// while the index is pristine. See mutate.go.
+	// mut holds dynamic-update state (per-segment insertion buffers,
+	// tombstones); nil while the index is pristine. See mutate.go.
 	mut *mutableState
+	// segMerges counts per-segment buffer merges over the index lifetime;
+	// it outlives mut so the counter survives Flush/Rebuild resets.
+	segMerges int64
 }
 
 // initKernel resolves the tiled kernels and caches the representative
@@ -526,15 +535,15 @@ func (e *Exact) one(q []float32, k int, ordRow []float64, sc *par.Scratch) (*par
 			}
 			st.PointEvals += int64(end - blk)
 		}
-		if e.mut != nil && len(e.mut.overflowIDs[j]) > 0 {
+		if e.mut != nil && len(e.mut.bufIDs[j]) > 0 {
 			wLo, wHi := dLo-w, dHi+w
 			if e.prm.EarlyExit && dLo != dHi {
-				// The overflow filter compares stored member distances
-				// against the window directly, so pin it to the exact one.
+				// The buffer window clips stored member distances directly,
+				// so pin it to the exact representative distance.
 				d := e.exactRepDist(q, j, repLo, repHi, scratch)
 				wLo, wHi = d-w, d+w
 			}
-			st.PointEvals += e.scanOverflow(j, q, wLo, wHi, scratch[:1], func(id int, dd float64) {
+			st.PointEvals += e.scanBuffer(j, q, wLo, wHi, scratch[:1], func(id int, dd float64) {
 				if !e.isRep[id] {
 					h.Push(id, dd)
 				}
@@ -586,7 +595,7 @@ func (e *Exact) KNNBatch(queries *vec.Dataset, k int) ([][]par.Neighbor, Stats) 
 // batch answers a query block. A pristine index takes the fully grouped
 // path (batch_grouped.go): tiled BF(Q,R) front half plus per-list tiled
 // phase-2 scans shared across the block. Once dynamic state exists
-// (tombstones, overflow lists) the block still shares the tiled front
+// (tombstones, insertion buffers) the block still shares the tiled front
 // half but runs the per-query back half, which knows how to consult that
 // state. Both paths are bit-identical to per-query KNN.
 func (e *Exact) batch(queries *vec.Dataset, k int, sink func(i int, h *par.KHeap)) Stats {
@@ -698,12 +707,12 @@ func (e *Exact) rangeOne(q []float32, eps float64, ordRow []float64, sc *par.Scr
 			}
 			st.PointEvals += int64(end - blk)
 		}
-		if e.mut != nil && len(e.mut.overflowIDs[j]) > 0 {
+		if e.mut != nil && len(e.mut.bufIDs[j]) > 0 {
 			if e.prm.EarlyExit && dLo != dHi {
 				d := e.exactRepDist(q, j, repLo, repHi, scratch)
 				dLo, dHi = d, d
 			}
-			st.PointEvals += e.scanOverflow(j, q, dLo-eps, dHi+eps, scratch[:1], func(id int, o float64) {
+			st.PointEvals += e.scanBuffer(j, q, dLo-eps, dHi+eps, scratch[:1], func(id int, o float64) {
 				if o <= epsHi {
 					if dd := e.ker.ToDistance(o); dd <= eps {
 						hits = append(hits, par.Neighbor{ID: id, Dist: dd})

@@ -14,48 +14,84 @@ import (
 // full rebuilds, and the cover's geometry makes both cheap:
 //
 //   - Insert routes the new point to its nearest representative (one
-//     brute-force scan of R, exactly the build rule) and parks it on that
-//     representative's *overflow* list; the radius ψ_r grows if needed,
-//     so both pruning bounds remain sound.
+//     brute-force scan of R, exactly the build rule) and parks it in that
+//     representative's *insertion buffer*, kept in the same ascending
+//     (distance-to-representative, id) order as the segment itself; the
+//     radius ψ_r grows if needed, so both pruning bounds remain sound.
+//     EarlyExit admissible windows clip the buffer by the same binary
+//     search they clip the segment with, so window validity survives
+//     mutation. When a buffer reaches the merge threshold it is folded
+//     into its sorted segment in place — a targeted re-sort of one
+//     segment (an O(segment) two-run merge), not a Rebuild.
 //   - Delete tombstones a point; searches skip tombstoned ids. Radii are
 //     left untouched — stale-high radii weaken pruning but never break
 //     correctness.
-//   - Rebuild folds overflows into the sorted gathered layout and purges
-//     tombstones, restoring the canonical structure (same
-//     representatives).
+//   - Flush merges every pending buffer (tombstones stay), restoring the
+//     canonical sorted layout so the index can be snapshotted; Rebuild
+//     additionally purges tombstones from the lists.
 //
-// Searches remain exact throughout: overflow members are scanned
+// Searches remain exact throughout: buffered members are scanned
 // alongside their segment, and the γ thresholds are computed over live
 // representatives only (deleted representatives still route, but no
 // longer witness an upper bound).
 
-// ErrDirtyIndex is wrapped by Save when un-rebuilt mutations exist.
-var ErrDirtyIndex = fmt.Errorf("core: index has pending mutations; call Rebuild before Save")
+// ErrDirtyIndex is wrapped by Save when un-merged insertion buffers
+// exist.
+var ErrDirtyIndex = fmt.Errorf("core: index has pending insertion buffers; call Flush or Rebuild before Save")
+
+// DefaultBufferMerge is the per-segment insertion-buffer bound used when
+// ExactParams.BufferMerge is zero: buffers this large fold into their
+// sorted segment. Small enough that the linear buffer scan stays a
+// rounding error next to the windowed segment scan, large enough that
+// the O(n) column splice amortizes across many inserts.
+const DefaultBufferMerge = 64
 
 // mutableState carries the update-related fields of Exact.
 type mutableState struct {
-	overflowIDs   [][]int32   // per-rep ids parked since the last rebuild
-	overflowDists [][]float64 // matching distances to the representative
-	deleted       []bool      // db id → tombstoned
-	numDeleted    int
-	numOverflow   int
+	bufIDs      [][]int32   // per-rep insertion buffers, ascending (dist, id)
+	bufDists    [][]float64 // matching distances to the representative
+	deleted     []bool      // db id → tombstoned
+	numDeleted  int
+	numBuffered int
 }
 
 func (e *Exact) ensureMutable() {
 	if e.mut == nil {
 		e.mut = &mutableState{
-			overflowIDs:   make([][]int32, e.NumReps()),
-			overflowDists: make([][]float64, e.NumReps()),
-			deleted:       make([]bool, e.db.N()),
+			bufIDs:   make([][]int32, e.NumReps()),
+			bufDists: make([][]float64, e.NumReps()),
+			deleted:  make([]bool, e.db.N()),
 		}
 	}
 }
 
-// Dirty reports whether the index holds mutations not yet folded in by
-// Rebuild.
-func (e *Exact) Dirty() bool {
-	return e.mut != nil && (e.mut.numOverflow > 0 || e.mut.numDeleted > 0)
+// dropCleanState releases the mutable state once nothing dynamic
+// remains, returning the index to the pristine fast path (grouped batch
+// scans, Save without Flush).
+func (e *Exact) dropCleanState() {
+	if e.mut != nil && e.mut.numBuffered == 0 && e.mut.numDeleted == 0 {
+		e.mut = nil
+	}
 }
+
+// Dirty reports whether the index holds mutations not yet folded in by
+// Flush or Rebuild (pending insertion buffers or tombstones).
+func (e *Exact) Dirty() bool {
+	return e.mut != nil && (e.mut.numBuffered > 0 || e.mut.numDeleted > 0)
+}
+
+// Buffered reports the number of inserts parked in per-segment
+// insertion buffers (not yet merged into the sorted layout).
+func (e *Exact) Buffered() int {
+	if e.mut == nil {
+		return 0
+	}
+	return e.mut.numBuffered
+}
+
+// SegMerges reports how many per-segment buffer merges the index has
+// performed (threshold-triggered plus Flush/Rebuild-triggered).
+func (e *Exact) SegMerges() int64 { return e.segMerges }
 
 // Live reports the number of non-deleted points.
 func (e *Exact) Live() int {
@@ -66,9 +102,20 @@ func (e *Exact) Live() int {
 	return n
 }
 
+// mergeThreshold resolves ExactParams.BufferMerge: 0 selects
+// DefaultBufferMerge, negative disables automatic merging.
+func (e *Exact) mergeThreshold() int {
+	if e.prm.BufferMerge != 0 {
+		return e.prm.BufferMerge
+	}
+	return DefaultBufferMerge
+}
+
 // Insert appends p to the database and the index, returning its new id.
-// The point is assigned to its nearest representative, as at build time.
-// Cost: one scan of R plus O(1) bookkeeping.
+// The point is assigned to its nearest representative, as at build time,
+// and parked in that representative's sorted insertion buffer. Cost: one
+// scan of R plus O(buffer) bookkeeping, amortizing the segment splice
+// across BufferMerge inserts.
 func (e *Exact) Insert(p []float32) int {
 	e.checkDim(len(p))
 	e.ensureMutable()
@@ -86,13 +133,96 @@ func (e *Exact) Insert(p []float32) int {
 			best = j
 		}
 	}
-	e.mut.overflowIDs[best] = append(e.mut.overflowIDs[best], int32(id))
-	e.mut.overflowDists[best] = append(e.mut.overflowDists[best], dists[best])
-	e.mut.numOverflow++
+	e.bufferInsert(best, int32(id), dists[best])
 	if dists[best] > e.radii[best] {
 		e.radii[best] = dists[best]
 	}
 	return id
+}
+
+// bufferInsert parks (id, d) in representative j's insertion buffer at
+// its (dist, id) position, then merges the buffer into the segment if it
+// reached the threshold.
+func (e *Exact) bufferInsert(j int, id int32, d float64) {
+	ids, ds := e.mut.bufIDs[j], e.mut.bufDists[j]
+	pos := InsertPos(ds, ids, d, id)
+	ids = append(ids, 0)
+	copy(ids[pos+1:], ids[pos:])
+	ids[pos] = id
+	ds = append(ds, 0)
+	copy(ds[pos+1:], ds[pos:])
+	ds[pos] = d
+	e.mut.bufIDs[j], e.mut.bufDists[j] = ids, ds
+	e.mut.numBuffered++
+	if t := e.mergeThreshold(); t > 0 && len(ids) >= t {
+		e.mergeSegment(j)
+		e.dropCleanState()
+	}
+}
+
+// mergeSegment folds representative j's insertion buffer into its sorted
+// segment in place: the flat (ids, dists, gather) columns grow by the
+// buffer size, the tail shifts right, and the two ascending (dist, id)
+// runs merge back to front — a targeted re-sort of one segment that
+// preserves every invariant the EarlyExit admissible window
+// binary-searches over. Answer-neutral by construction: the member set
+// is unchanged, only its location moves from buffer to segment.
+func (e *Exact) mergeSegment(j int) {
+	bIDs, bDists := e.mut.bufIDs[j], e.mut.bufDists[j]
+	b := len(bIDs)
+	if b == 0 {
+		return
+	}
+	dim := e.db.Dim
+	lo, hi := e.offsets[j], e.offsets[j+1]
+	n := len(e.ids)
+	e.ids = append(e.ids, make([]int32, b)...)
+	copy(e.ids[hi+b:], e.ids[hi:n])
+	e.dists = append(e.dists, make([]float64, b)...)
+	copy(e.dists[hi+b:], e.dists[hi:n])
+	e.gather = append(e.gather, make([]float32, b*dim)...)
+	copy(e.gather[(hi+b)*dim:], e.gather[hi*dim:n*dim])
+	// Merge the segment run [lo, hi) and the buffer back to front into
+	// [lo, hi+b). The write cursor w stays strictly ahead of the segment
+	// read cursor s while buffer entries remain, so the moves never
+	// clobber unread segment entries.
+	s, w := hi-1, hi+b-1
+	for t := b - 1; t >= 0; w-- {
+		if s >= lo && (e.dists[s] > bDists[t] || (e.dists[s] == bDists[t] && e.ids[s] > bIDs[t])) {
+			e.ids[w], e.dists[w] = e.ids[s], e.dists[s]
+			copy(e.gather[w*dim:(w+1)*dim], e.gather[s*dim:(s+1)*dim])
+			s--
+			continue
+		}
+		e.ids[w], e.dists[w] = bIDs[t], bDists[t]
+		copy(e.gather[w*dim:(w+1)*dim], e.db.Row(int(bIDs[t])))
+		t--
+	}
+	for i := j + 1; i < len(e.offsets); i++ {
+		e.offsets[i] += b
+	}
+	// Insert already grew the radius past every buffered distance, but
+	// keep the invariant locally re-established.
+	if d := e.dists[hi+b-1]; d > e.radii[j] {
+		e.radii[j] = d
+	}
+	e.mut.bufIDs[j], e.mut.bufDists[j] = nil, nil
+	e.mut.numBuffered -= b
+	e.segMerges++
+}
+
+// Flush merges every pending insertion buffer into its sorted segment,
+// leaving tombstones in place. After Flush the canonical layout holds
+// the whole database again (tombstoned members included, still skipped
+// by searches), so the index can be saved; with no tombstones it is
+// fully pristine again. Answer-neutral.
+func (e *Exact) Flush() {
+	if e.mut != nil {
+		for j := range e.mut.bufIDs {
+			e.mergeSegment(j)
+		}
+	}
+	e.dropCleanState()
 }
 
 // Delete tombstones the point with the given id. Deleting a
@@ -100,15 +230,25 @@ func (e *Exact) Insert(p []float32) int {
 // routing landmark until Rebuild. Deleting an already-deleted or
 // out-of-range id returns an error.
 func (e *Exact) Delete(id int) error {
+	if err := e.CheckDelete(id); err != nil {
+		return err
+	}
+	e.ensureMutable()
+	e.mut.deleted[id] = true
+	e.mut.numDeleted++
+	return nil
+}
+
+// CheckDelete reports whether Delete(id) would succeed, mutating
+// nothing. Write-ahead callers validate through it before logging the
+// delete, so a logged record always applies cleanly at replay.
+func (e *Exact) CheckDelete(id int) error {
 	if id < 0 || id >= e.db.N() {
 		return fmt.Errorf("core: delete id %d out of range [0,%d)", id, e.db.N())
 	}
-	e.ensureMutable()
-	if e.mut.deleted[id] {
+	if e.mut != nil && e.mut.deleted[id] {
 		return fmt.Errorf("core: id %d already deleted", id)
 	}
-	e.mut.deleted[id] = true
-	e.mut.numDeleted++
 	return nil
 }
 
@@ -117,7 +257,7 @@ func (e *Exact) isDeleted(id int) bool {
 	return e.mut != nil && e.mut.deleted[id]
 }
 
-// Rebuild folds overflow lists into the sorted, gathered layout and
+// Rebuild folds insertion buffers into the sorted, gathered layout and
 // purges tombstones. Representatives are kept (including tombstoned ones,
 // which continue to serve as routing landmarks but are excluded from
 // results); radii are recomputed exactly.
@@ -127,7 +267,7 @@ func (e *Exact) Rebuild() {
 	}
 	nr := e.NumReps()
 	dim := e.db.Dim
-	// Merge each segment with its overflow, dropping tombstones.
+	// Merge each segment with its buffer, dropping tombstones.
 	type member struct {
 		id   int32
 		dist float64
@@ -137,15 +277,15 @@ func (e *Exact) Rebuild() {
 	total := 0
 	for j := 0; j < nr; j++ {
 		lo, hi := e.offsets[j], e.offsets[j+1]
-		ms := make([]member, 0, hi-lo+len(e.mut.overflowIDs[j]))
+		ms := make([]member, 0, hi-lo+len(e.mut.bufIDs[j]))
 		for p := lo; p < hi; p++ {
 			if id := e.ids[p]; !e.mut.deleted[id] {
 				ms = append(ms, member{id: id, dist: e.dists[p]})
 			}
 		}
-		for i, id := range e.mut.overflowIDs[j] {
+		for i, id := range e.mut.bufIDs[j] {
 			if !e.mut.deleted[id] {
-				ms = append(ms, member{id: id, dist: e.mut.overflowDists[j][i]})
+				ms = append(ms, member{id: id, dist: e.mut.bufDists[j][i]})
 			}
 		}
 		sort.Slice(ms, func(a, b int) bool {
@@ -178,20 +318,18 @@ func (e *Exact) Rebuild() {
 	e.ids = ids
 	e.dists = dists
 	e.gather = gather
-	// Tombstoned ids stay recorded (they remain unreturnable) but the
-	// overflow bookkeeping resets.
+	e.segMerges++
+	// Tombstoned ids stay recorded (they remain unreturnable, and Live
+	// still accounts for them) but the buffer bookkeeping resets.
 	deleted := e.mut.deleted
 	numDeleted := e.mut.numDeleted
 	e.mut = &mutableState{
-		overflowIDs:   make([][]int32, nr),
-		overflowDists: make([][]float64, nr),
-		deleted:       deleted,
-		numDeleted:    numDeleted,
+		bufIDs:     make([][]int32, nr),
+		bufDists:   make([][]float64, nr),
+		deleted:    deleted,
+		numDeleted: numDeleted,
 	}
-	e.mut.numOverflow = 0
-	if numDeleted == 0 {
-		e.mut = nil // fully clean: drop the mutable state entirely
-	}
+	e.dropCleanState()
 }
 
 // liveGammas returns (γ_1, γ_k) computed over live representatives only,
@@ -216,28 +354,30 @@ func (e *Exact) liveGammas(repDists []float64, k int, sc *par.Scratch) (float64,
 	return kthSmallest(live, k, sc)
 }
 
-// scanOverflow feeds a representative's overflow members (respecting the
-// admissible window [wLo, wHi], which lives in distance space — callers
-// derive it from the phase-1 distance bracket, so it already absorbs the
-// fast kernel's slack) to h as ordering distances, and returns the number
-// of distance evaluations. buf is a caller-pooled buffer of length >= 1
-// (a local array here would escape through the kernel's interface
-// dispatch).
-func (e *Exact) scanOverflow(j int, q []float32, wLo, wHi float64, buf []float64, h func(id int, ord float64)) int64 {
-	if e.mut == nil || len(e.mut.overflowIDs[j]) == 0 {
+// scanBuffer feeds representative j's insertion-buffer members to h as
+// ordering distances, and returns the number of distance evaluations.
+// Under EarlyExit the buffer — ascending in (dist, id) like the segment —
+// is clipped to the admissible window [wLo, wHi] by the same binary
+// search the segment scan uses; the window lives in distance space, so
+// callers derive it from the phase-1 distance bracket and it already
+// absorbs the fast kernel's slack. buf is a caller-pooled buffer of
+// length >= 1 (a local array here would escape through the kernel's
+// interface dispatch).
+func (e *Exact) scanBuffer(j int, q []float32, wLo, wHi float64, buf []float64, h func(id int, ord float64)) int64 {
+	if e.mut == nil || len(e.mut.bufIDs[j]) == 0 {
 		return 0
+	}
+	ids, ds := e.mut.bufIDs[j], e.mut.bufDists[j]
+	lo, hi := 0, len(ids)
+	if e.prm.EarlyExit {
+		lo, hi = AdmissibleWindow(ds, wLo, wHi)
 	}
 	var evals int64
 	out := buf[:1]
-	for i, id := range e.mut.overflowIDs[j] {
+	for i := lo; i < hi; i++ {
+		id := ids[i]
 		if e.mut.deleted[id] {
 			continue
-		}
-		if e.prm.EarlyExit {
-			od := e.mut.overflowDists[j][i]
-			if od < wLo || od > wHi {
-				continue
-			}
 		}
 		// The kernel's ordering path, even for one row, so rounding matches
 		// the gathered-scan and brute-force code paths bit for bit.

@@ -171,8 +171,8 @@ func TestMixedMutationsAndRebuild(t *testing.T) {
 	}
 	checkExact("before rebuild")
 	e.Rebuild()
-	if e.mut != nil && e.mut.numOverflow != 0 {
-		t.Fatal("rebuild left overflow")
+	if e.mut != nil && e.mut.numBuffered != 0 {
+		t.Fatal("rebuild left buffered inserts")
 	}
 	checkExact("after rebuild")
 	// A second rebuild is a no-op.

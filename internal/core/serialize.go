@@ -24,26 +24,46 @@ type exactSnapshot struct {
 	Offsets    []int
 	IDs        []int32
 	Dists      []float64
+	// Deleted lists the tombstoned database ids, ascending. Version-2
+	// snapshots taken after deletions keep the tombstones instead of
+	// requiring a Rebuild, so database ids stay stable across a
+	// snapshot/restore cycle — the property WAL replay depends on.
+	// Version-1 snapshots decode with Deleted nil (gob zero value).
+	Deleted []int32
 }
 
-// snapshotVersion 1 already persists the sorted-segment permutation (IDs
-// in per-list (dist, id) order, Dists as the position-aligned sort keys),
-// so the EarlyExit admissible windows — and any consumer of SortSegment
-// order, such as the distributed shards — round-trip without a layout
-// change. LoadExact verifies the invariant instead of re-sorting: a
-// snapshot whose Dists are not ascending within every list is corrupt.
-const snapshotVersion = 1
+// Snapshot versions. Version 1 already persists the sorted-segment
+// permutation (IDs in per-list (dist, id) order, Dists as the
+// position-aligned sort keys), so the EarlyExit admissible windows — and
+// any consumer of SortSegment order, such as the distributed shards —
+// round-trip without a layout change. Version 2 adds the Deleted
+// tombstone list; LoadExact accepts both. LoadExact verifies the sort
+// invariant instead of re-sorting: a snapshot whose Dists are not
+// ascending within every list is corrupt.
+const (
+	snapshotVersion      = 1 // OneShot, and the floor LoadExact accepts
+	exactSnapshotVersion = 2
+)
 
-// Save writes the index structure (not the database) to w. Indexes with
-// pending mutations must be Rebuild-ed first (deletions persist as a
-// smaller index; tombstoned ids simply vanish from the saved lists, so a
-// reload requires the same database and treats them as unreachable).
+// Save writes the index structure (not the database) to w. Pending
+// insertion buffers must be folded in first (Flush or Rebuild) — the
+// snapshot stores only the canonical sorted layout. Tombstones persist
+// as the Deleted list, so deletions do not force a Rebuild before Save
+// and ids remain stable across a save/load cycle.
 func (e *Exact) Save(w io.Writer) error {
-	if e.Dirty() {
+	if e.mut != nil && e.mut.numBuffered > 0 {
 		return ErrDirtyIndex
 	}
+	var deleted []int32
+	if e.mut != nil {
+		for id, gone := range e.mut.deleted {
+			if gone {
+				deleted = append(deleted, int32(id))
+			}
+		}
+	}
 	snap := exactSnapshot{
-		Version:    snapshotVersion,
+		Version:    exactSnapshotVersion,
 		MetricName: e.m.Name(),
 		DBN:        e.db.N(),
 		DBDim:      e.db.Dim,
@@ -53,6 +73,7 @@ func (e *Exact) Save(w io.Writer) error {
 		Offsets:    e.offsets,
 		IDs:        e.ids,
 		Dists:      e.dists,
+		Deleted:    deleted,
 	}
 	return gob.NewEncoder(w).Encode(&snap)
 }
@@ -65,7 +86,7 @@ func LoadExact(r io.Reader, db *vec.Dataset, m metric.Metric[[]float32]) (*Exact
 	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
 		return nil, fmt.Errorf("core: decoding exact index: %w", err)
 	}
-	if snap.Version != snapshotVersion {
+	if snap.Version < snapshotVersion || snap.Version > exactSnapshotVersion {
 		return nil, fmt.Errorf("core: unsupported index version %d", snap.Version)
 	}
 	if snap.MetricName != m.Name() {
@@ -75,7 +96,7 @@ func LoadExact(r io.Reader, db *vec.Dataset, m metric.Metric[[]float32]) (*Exact
 		return nil, fmt.Errorf("core: index was built over a %dx%d database, got %dx%d",
 			snap.DBN, snap.DBDim, db.N(), db.Dim)
 	}
-	if len(snap.IDs) != db.N() || len(snap.Offsets) != len(snap.RepIDs)+1 {
+	if len(snap.IDs) > db.N() || len(snap.Offsets) != len(snap.RepIDs)+1 {
 		return nil, fmt.Errorf("core: corrupt index structure")
 	}
 	if len(snap.Dists) != len(snap.IDs) {
@@ -95,11 +116,8 @@ func LoadExact(r io.Reader, db *vec.Dataset, m metric.Metric[[]float32]) (*Exact
 		if lo < 0 || hi < lo || hi > len(snap.IDs) {
 			return nil, fmt.Errorf("core: corrupt index structure: bad offsets [%d, %d)", lo, hi)
 		}
-		for p := lo + 1; p < hi; p++ {
-			if snap.Dists[p] < snap.Dists[p-1] ||
-				(snap.Dists[p] == snap.Dists[p-1] && snap.IDs[p] < snap.IDs[p-1]) {
-				return nil, fmt.Errorf("core: corrupt index structure: list %d not in (dist, id) order at position %d", j, p)
-			}
+		if !SegmentSorted(snap.IDs[lo:hi], snap.Dists[lo:hi]) {
+			return nil, fmt.Errorf("core: corrupt index structure: list %d not in (dist, id) order", j)
 		}
 	}
 	isRep := make([]bool, db.N())
@@ -109,12 +127,40 @@ func LoadExact(r io.Reader, db *vec.Dataset, m metric.Metric[[]float32]) (*Exact
 		}
 		isRep[id] = true
 	}
-	gather := make([]float32, db.N()*db.Dim)
+	// Every database id must appear exactly once across the lists or be
+	// tombstoned (a post-Rebuild snapshot purges tombstoned members from
+	// the lists; a post-Flush one keeps them). Anything else means the
+	// lists and the database disagree and searches would silently drop
+	// answers.
+	inList := make([]bool, db.N())
+	gather := make([]float32, len(snap.IDs)*db.Dim)
 	for p, id := range snap.IDs {
 		if int(id) < 0 || int(id) >= db.N() {
 			return nil, fmt.Errorf("core: member id %d out of range", id)
 		}
+		if inList[id] {
+			return nil, fmt.Errorf("core: corrupt index structure: member id %d listed twice", id)
+		}
+		inList[id] = true
 		copy(gather[p*db.Dim:(p+1)*db.Dim], db.Row(int(id)))
+	}
+	var deleted []bool
+	if len(snap.Deleted) > 0 {
+		deleted = make([]bool, db.N())
+		for _, id := range snap.Deleted {
+			if int(id) < 0 || int(id) >= db.N() {
+				return nil, fmt.Errorf("core: deleted id %d out of range", id)
+			}
+			if deleted[id] {
+				return nil, fmt.Errorf("core: corrupt index structure: id %d tombstoned twice", id)
+			}
+			deleted[id] = true
+		}
+	}
+	for id := 0; id < db.N(); id++ {
+		if !inList[id] && (deleted == nil || !deleted[id]) {
+			return nil, fmt.Errorf("core: corrupt index structure: id %d neither listed nor tombstoned", id)
+		}
 	}
 	e := &Exact{
 		db: db, m: m, prm: snap.Params,
@@ -122,6 +168,14 @@ func LoadExact(r io.Reader, db *vec.Dataset, m metric.Metric[[]float32]) (*Exact
 		radii: snap.Radii, isRep: isRep,
 		offsets: snap.Offsets, ids: snap.IDs, dists: snap.Dists,
 		gather: gather,
+	}
+	if deleted != nil {
+		e.mut = &mutableState{
+			bufIDs:     make([][]int32, len(snap.RepIDs)),
+			bufDists:   make([][]float64, len(snap.RepIDs)),
+			deleted:    deleted,
+			numDeleted: len(snap.Deleted),
+		}
 	}
 	e.initKernel()
 	return e, nil

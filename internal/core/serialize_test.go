@@ -3,6 +3,7 @@ package core
 import (
 	"bytes"
 	"encoding/gob"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -268,6 +269,152 @@ func TestLoadOneShotValidation(t *testing.T) {
 	other := randomDataset(rng, 150, 5)
 	if _, err := LoadOneShot(bytes.NewReader(buf.Bytes()), other, m); err == nil {
 		t.Fatal("dim mismatch should error")
+	}
+}
+
+// Version-2 snapshots carry tombstones: deletions no longer force a
+// Rebuild before Save, ids stay stable across the round trip, and the
+// loaded index answers bit-identically — the property WAL replay
+// recovery is built on.
+func TestSaveLoadWithTombstones(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	db := clusteredDataset(rng, 500, 4, 6)
+	m := metric.Euclidean{}
+	e, err := BuildExact(db, m, ExactParams{Seed: 3, EarlyExit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate: inserts (flushed into the sorted layout), deletes kept as
+	// tombstones — including a representative's point.
+	extra := clusteredDataset(rng, 80, 4, 6)
+	for i := 0; i < extra.N(); i++ {
+		e.Insert(extra.Row(i))
+	}
+	e.Flush()
+	deleted := map[int]bool{}
+	for _, id := range []int{e.RepIDs()[0], 7, 130, 512, 570} {
+		if err := e.Delete(id); err != nil {
+			t.Fatal(err)
+		}
+		deleted[id] = true
+	}
+	if !e.Dirty() {
+		t.Fatal("tombstones should leave the index dirty")
+	}
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatalf("Save with tombstones (no pending buffers) should succeed: %v", err)
+	}
+	loaded, err := LoadExact(&buf, db, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Live() != e.Live() || loaded.Live() != 580-len(deleted) {
+		t.Fatalf("live %d after load, want %d", loaded.Live(), e.Live())
+	}
+	queries := randomDataset(rng, 30, 4)
+	for i := 0; i < queries.N(); i++ {
+		a, sa := e.KNN(queries.Row(i), 6)
+		b, sb := loaded.KNN(queries.Row(i), 6)
+		if sa != sb {
+			t.Fatalf("query %d: stats diverge: %+v vs %+v", i, sa, sb)
+		}
+		for p := range a {
+			if a[p] != b[p] {
+				t.Fatalf("query %d pos %d: %+v vs %+v", i, p, a[p], b[p])
+			}
+			if deleted[a[p].ID] {
+				t.Fatalf("query %d returned deleted id %d", i, a[p].ID)
+			}
+		}
+	}
+	// The loaded index keeps mutating: ids continue from the same space.
+	if id := loaded.Insert(extra.Row(0)); id != 580 {
+		t.Fatalf("insert after load got id %d, want 580", id)
+	}
+}
+
+// Save's dirty gate now scopes to pending insertion buffers only: Flush
+// suffices (no Rebuild needed), and tombstones alone never block a save.
+func TestSaveGateScopesToBuffers(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	db := randomDataset(rng, 120, 3)
+	e, err := BuildExact(db, metric.Euclidean{}, ExactParams{Seed: 1, BufferMerge: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Insert([]float32{0.1, 0.2, 0.3})
+	var buf bytes.Buffer
+	if err := e.Save(&buf); !errors.Is(err, ErrDirtyIndex) {
+		t.Fatalf("pending buffer: want ErrDirtyIndex, got %v", err)
+	}
+	e.Flush()
+	if err := e.Delete(5); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := e.Save(&buf); err != nil {
+		t.Fatalf("Save after Flush with tombstones: %v", err)
+	}
+	if _, err := LoadExact(&buf, db, metric.Euclidean{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Corrupt tombstone metadata must be rejected: out-of-range or
+// duplicated Deleted entries, and databases whose ids are neither
+// listed nor tombstoned (the lists and the database disagree).
+func TestLoadExactRejectsCorruptTombstones(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	db := clusteredDataset(rng, 200, 3, 4)
+	m := metric.Euclidean{}
+	e, err := BuildExact(db, m, ExactParams{Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Delete(42); err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(mutate func(snap *exactSnapshot)) error {
+		var buf bytes.Buffer
+		if err := e.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		var snap exactSnapshot
+		if err := gob.NewDecoder(&buf).Decode(&snap); err != nil {
+			t.Fatal(err)
+		}
+		mutate(&snap)
+		var out bytes.Buffer
+		if err := gob.NewEncoder(&out).Encode(&snap); err != nil {
+			t.Fatal(err)
+		}
+		_, err := LoadExact(&out, db, m)
+		return err
+	}
+	if err := corrupt(func(snap *exactSnapshot) {}); err != nil {
+		t.Fatalf("unmutated snapshot should load: %v", err)
+	}
+	if err := corrupt(func(snap *exactSnapshot) {
+		snap.Deleted[0] = 10_000
+	}); err == nil {
+		t.Fatal("out-of-range deleted id should be rejected")
+	}
+	if err := corrupt(func(snap *exactSnapshot) {
+		snap.Deleted = append(snap.Deleted, snap.Deleted[0])
+	}); err == nil {
+		t.Fatal("duplicated deleted id should be rejected")
+	}
+	if err := corrupt(func(snap *exactSnapshot) {
+		// A member listed twice shadows another id entirely.
+		snap.IDs[0] = snap.IDs[1]
+	}); err == nil {
+		t.Fatal("duplicated member id should be rejected")
+	}
+	if err := corrupt(func(snap *exactSnapshot) {
+		snap.Version = 99
+	}); err == nil {
+		t.Fatal("unknown version should be rejected")
 	}
 }
 

@@ -50,3 +50,32 @@ func AdmissibleWindow(repDists []float64, dLo, dHi float64) (lo, hi int) {
 	}
 	return lo, hi
 }
+
+// InsertPos returns the position at which a member with distance d and
+// database id would splice into a segment already in ascending
+// (dist, id) order, preserving that order. It is the binary-search half
+// of the sorted insertion buffers in mutate.go; exported so property
+// tests and higher layers share the exact comparison rule SortSegment
+// establishes.
+func InsertPos(dists []float64, ids []int32, d float64, id int32) int {
+	return sort.Search(len(dists), func(i int) bool {
+		if dists[i] != d {
+			return dists[i] > d
+		}
+		return ids[i] > id
+	})
+}
+
+// SegmentSorted reports whether the position-aligned (ids, dists) pair
+// is in the ascending (dist, id) order SortSegment establishes — the
+// invariant every AdmissibleWindow and InsertPos call assumes. Used by
+// snapshot validation and the mutation property tests.
+func SegmentSorted(ids []int32, dists []float64) bool {
+	for i := 1; i < len(dists); i++ {
+		if dists[i] < dists[i-1] ||
+			(dists[i] == dists[i-1] && ids[i] <= ids[i-1]) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,437 @@
+package server
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metric"
+	"repro/internal/vec"
+	"repro/internal/wal"
+)
+
+// Durability for the exact-mode server: a write-ahead log of
+// insert/delete records plus generation-numbered snapshots, LevelDB
+// CURRENT-style. The data directory holds
+//
+//	CURRENT            the committed generation number (atomic rename)
+//	snapshot-<g>.rbc   dataset + index image for generation g (g >= 1)
+//	wal-<g>.log        mutations applied since snapshot g
+//
+// Mutations are write-ahead: the handler validates, appends the record
+// to wal-<g>.log (fsynced per the configured mode), and only then
+// applies it in memory and acknowledges. Under SyncAlways an
+// acknowledged mutation is durable; under SyncInterval/SyncNone the
+// tail of acknowledged mutations since the last fsync can be lost to a
+// crash — never reordered or corrupted, the log recovers to a clean
+// prefix of what was acknowledged.
+//
+// A snapshot runs under the write lock, so the log is quiescent:
+// Flush the index (fold insertion buffers; answer-neutral), write
+// snapshot-<g+1>.rbc and an empty wal-<g+1>.log durably, then commit by
+// renaming CURRENT to name g+1. A crash anywhere before the CURRENT
+// rename recovers from generation g with the full old log (the half-
+// written g+1 files are swept at startup); after it, from g+1 with an
+// empty log. No window double-applies or drops a record.
+//
+// Recovery is the mirror image: read CURRENT, load snapshot-<g> (or
+// bootstrap from a dataset when g = 0), replay wal-<g> through the
+// same CheckDelete/Insert path the handlers use, truncating any torn
+// or corrupt tail (see internal/wal), and sweep stale generations.
+
+// DurabilityOptions configures OpenDurable.
+type DurabilityOptions struct {
+	// Dir is the data directory; created if missing.
+	Dir string
+	// Sync selects the WAL fsync policy (wal.SyncAlways is the durable
+	// default; see wal.SyncMode).
+	Sync wal.SyncMode
+	// SyncEvery is the group-commit interval under wal.SyncInterval.
+	SyncEvery time.Duration
+	// SnapshotEvery, when > 0, snapshots periodically in the background;
+	// POST /snapshot triggers one on demand either way.
+	SnapshotEvery time.Duration
+	// FaultHook passes through to wal.Options.FaultHook (crash tests).
+	FaultHook func(frame []byte) int
+}
+
+// durability is the server-side state behind DurabilityOptions.
+type durability struct {
+	dir  string
+	opts wal.Options
+
+	gen        atomic.Int64 // committed generation (written under snapMu)
+	wal        *wal.Log
+	replay     wal.ReplayStats
+	replayTime time.Duration
+
+	snapMu    sync.Mutex // serializes snapshot attempts (manual vs periodic)
+	snapshots atomic.Int64
+	snapErrs  atomic.Int64
+
+	snapEvery time.Duration
+	stopc     chan struct{}
+	wg        sync.WaitGroup
+}
+
+const snapshotFileVersion = 1
+
+// snapshotFile is the on-disk snapshot image: the full dataset
+// (tombstoned rows included, so database ids stay stable across
+// restore — the property WAL replay depends on) plus the serialized
+// index, which carries the tombstones (core snapshot v2). One gob
+// stream end to end: vec's binary reader buffers past its own frame,
+// so concatenated formats cannot share a file.
+type snapshotFile struct {
+	Version int
+	Dim     int
+	Data    []float32
+	Index   []byte
+}
+
+func currentPath(dir string) string { return filepath.Join(dir, "CURRENT") }
+func snapshotPath(dir string, gen int) string {
+	return filepath.Join(dir, fmt.Sprintf("snapshot-%d.rbc", gen))
+}
+func walPath(dir string, gen int) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%d.log", gen))
+}
+
+// readCurrent returns the committed generation, 0 when CURRENT does not
+// exist (fresh directory: bootstrap plus wal-0.log).
+func readCurrent(dir string) (int, error) {
+	b, err := os.ReadFile(currentPath(dir))
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	gen, err := strconv.Atoi(strings.TrimSpace(string(b)))
+	if err != nil || gen < 0 {
+		return 0, fmt.Errorf("server: corrupt CURRENT %q", strings.TrimSpace(string(b)))
+	}
+	return gen, nil
+}
+
+// writeFileDurable writes data to path atomically: temp file in the
+// same directory, fsync, rename, directory fsync. Readers see either
+// the old file or the complete new one, never a torn write.
+func writeFileDurable(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// sweepStale removes snapshot/wal files from generations other than the
+// committed one — leftovers of a crash mid-snapshot. Best-effort: a
+// failed removal costs disk, not correctness.
+func sweepStale(dir string, gen int) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	keepSnap := fmt.Sprintf("snapshot-%d.rbc", gen)
+	keepWAL := fmt.Sprintf("wal-%d.log", gen)
+	for _, ent := range entries {
+		name := ent.Name()
+		stale := (strings.HasPrefix(name, "snapshot-") && name != keepSnap) ||
+			(strings.HasPrefix(name, "wal-") && name != keepWAL)
+		if stale {
+			os.Remove(filepath.Join(dir, name))
+		}
+	}
+}
+
+// loadSnapshotFile restores the dataset and index image of one
+// generation.
+func loadSnapshotFile(path string, m metric.Metric[[]float32]) (*vec.Dataset, *core.Exact, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	var snap snapshotFile
+	if err := gob.NewDecoder(f).Decode(&snap); err != nil {
+		return nil, nil, fmt.Errorf("server: decoding snapshot %s: %w", path, err)
+	}
+	if snap.Version != snapshotFileVersion {
+		return nil, nil, fmt.Errorf("server: unsupported snapshot version %d", snap.Version)
+	}
+	if snap.Dim <= 0 || len(snap.Data)%snap.Dim != 0 {
+		return nil, nil, fmt.Errorf("server: corrupt snapshot: %d floats at dim %d", len(snap.Data), snap.Dim)
+	}
+	db := vec.FromFlat(snap.Data, snap.Dim)
+	idx, err := core.LoadExact(bytes.NewReader(snap.Index), db, m)
+	if err != nil {
+		return nil, nil, fmt.Errorf("server: snapshot index: %w", err)
+	}
+	return db, idx, nil
+}
+
+// encodeSnapshotFile serializes the dataset + index image. The index
+// must have no pending insertion buffers (callers Flush first).
+func encodeSnapshotFile(db *vec.Dataset, idx *core.Exact) ([]byte, error) {
+	var ib bytes.Buffer
+	if err := idx.Save(&ib); err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(&snapshotFile{
+		Version: snapshotFileVersion,
+		Dim:     db.Dim,
+		Data:    db.Data,
+		Index:   ib.Bytes(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// OpenDurable builds an exact-mode server whose mutations survive
+// restarts: it recovers the committed snapshot generation from
+// d.Dir (bootstrapping the index from bootstrap when the directory is
+// fresh), replays the generation's WAL, and serves with write-ahead
+// logging on /insert and /delete plus snapshots on demand
+// (POST /snapshot) and optionally on a timer. bootstrap may be nil
+// when the directory already holds a snapshot; prm applies only to the
+// bootstrap build (a restored snapshot carries its own parameters).
+func OpenDurable(bootstrap *vec.Dataset, m metric.Metric[[]float32], prm core.ExactParams,
+	d DurabilityOptions, opts ...Option) (*Server, wal.ReplayStats, error) {
+	if err := os.MkdirAll(d.Dir, 0o755); err != nil {
+		return nil, wal.ReplayStats{}, err
+	}
+	gen, err := readCurrent(d.Dir)
+	if err != nil {
+		return nil, wal.ReplayStats{}, err
+	}
+	sweepStale(d.Dir, gen)
+
+	var db *vec.Dataset
+	var idx *core.Exact
+	if gen > 0 {
+		db, idx, err = loadSnapshotFile(snapshotPath(d.Dir, gen), m)
+		if err != nil {
+			return nil, wal.ReplayStats{}, err
+		}
+	} else {
+		if bootstrap == nil {
+			return nil, wal.ReplayStats{}, fmt.Errorf("server: no snapshot in %s and no bootstrap dataset", d.Dir)
+		}
+		db = bootstrap
+		idx, err = core.BuildExact(db, m, prm)
+		if err != nil {
+			return nil, wal.ReplayStats{}, err
+		}
+	}
+
+	dur := &durability{
+		dir:       d.Dir,
+		opts:      wal.Options{Sync: d.Sync, SyncEvery: d.SyncEvery, FaultHook: d.FaultHook},
+		snapEvery: d.SnapshotEvery,
+		stopc:     make(chan struct{}),
+	}
+	dur.gen.Store(int64(gen))
+	// Replay through the same validate-then-apply path the handlers use,
+	// so a record the handlers acknowledged always applies cleanly.
+	start := time.Now()
+	w, replay, err := wal.Open(walPath(d.Dir, gen), dur.opts, func(rec wal.Record) error {
+		switch rec.Op {
+		case wal.OpInsert:
+			if len(rec.Point) != db.Dim {
+				return fmt.Errorf("server: replayed insert has %d dims, index has %d", len(rec.Point), db.Dim)
+			}
+			idx.Insert(rec.Point)
+			return nil
+		case wal.OpDelete:
+			return idx.Delete(int(rec.ID))
+		default:
+			return fmt.Errorf("server: replayed unknown op %d", rec.Op)
+		}
+	})
+	if err != nil {
+		return nil, wal.ReplayStats{}, err
+	}
+	dur.wal = w
+	dur.replay = replay
+	dur.replayTime = time.Since(start)
+
+	s := NewExact(db, m, idx, opts...)
+	s.dur = dur
+	if dur.snapEvery > 0 {
+		dur.wg.Add(1)
+		go dur.snapshotLoop(s)
+	}
+	return s, replay, nil
+}
+
+// snapshotLoop drives periodic snapshots until Close.
+func (d *durability) snapshotLoop(s *Server) {
+	defer d.wg.Done()
+	t := time.NewTicker(d.snapEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.stopc:
+			return
+		case <-t.C:
+			_, _ = s.Snapshot()
+		}
+	}
+}
+
+// close stops the periodic loop and closes the WAL (final sync under
+// SyncInterval/SyncNone).
+func (d *durability) close() error {
+	select {
+	case <-d.stopc:
+	default:
+		close(d.stopc)
+	}
+	d.wg.Wait()
+	return d.wal.Close()
+}
+
+// Snapshot persists the current index state and resets the WAL,
+// committing a new generation; it returns the generation number. Runs
+// under the write lock (mutations quiesce for the duration) and is a
+// no-op error on non-durable servers.
+func (s *Server) Snapshot() (int, error) {
+	if s.dur == nil {
+		return 0, fmt.Errorf("server: not a durable server")
+	}
+	d := s.dur
+	// One snapshot at a time; the write lock is taken inside so parked
+	// snapshot attempts don't stack up behind each other holding it.
+	d.snapMu.Lock()
+	defer d.snapMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	gen, err := d.snapshotLocked(s.db, s.exact)
+	if err != nil {
+		d.snapErrs.Add(1)
+		return 0, err
+	}
+	d.snapshots.Add(1)
+	return gen, nil
+}
+
+// snapshotLocked writes generation gen+1 and commits it. Caller holds
+// the server write lock and d.snapMu.
+func (d *durability) snapshotLocked(db *vec.Dataset, idx *core.Exact) (int, error) {
+	idx.Flush() // fold insertion buffers; answer-neutral, required by Save
+	img, err := encodeSnapshotFile(db, idx)
+	if err != nil {
+		return 0, err
+	}
+	next := int(d.gen.Load()) + 1
+	if err := writeFileDurable(snapshotPath(d.dir, next), img); err != nil {
+		return 0, err
+	}
+	// A fresh, empty log for the new generation. Opened before CURRENT
+	// commits: if we crash here, recovery still reads generation d.gen
+	// and sweeps these files.
+	nw, _, err := wal.Open(walPath(d.dir, next), d.opts, nil)
+	if err != nil {
+		return 0, err
+	}
+	if err := writeFileDurable(currentPath(d.dir), []byte(strconv.Itoa(next)+"\n")); err != nil {
+		nw.Close()
+		os.Remove(walPath(d.dir, next))
+		os.Remove(snapshotPath(d.dir, next))
+		return 0, err
+	}
+	// Committed. Swap logs and drop the superseded generation. The wal
+	// swap happens under the server write lock, which every d.wal reader
+	// (handlers, stats) holds at least for read.
+	old, oldGen := d.wal, int(d.gen.Load())
+	d.wal = nw
+	d.gen.Store(int64(next))
+	old.Close()
+	os.Remove(old.Path())
+	if oldGen > 0 {
+		os.Remove(snapshotPath(d.dir, oldGen))
+	}
+	return next, nil
+}
+
+// logInsert appends an insert record and makes it as durable as the
+// sync mode promises. Caller holds the write lock.
+func (d *durability) logInsert(p []float32) error {
+	return d.wal.AppendInsert(p)
+}
+
+// logDelete appends a delete record. Caller holds the write lock and
+// has already validated via CheckDelete.
+func (d *durability) logDelete(id int) error {
+	return d.wal.AppendDelete(id)
+}
+
+// durabilityStats is the /stats durability section.
+type durabilityStats struct {
+	Dir            string `json:"dir"`
+	SyncMode       string `json:"sync_mode"`
+	Generation     int    `json:"generation"`
+	ReplayRecords  int    `json:"replay_records"`
+	ReplayTruncB   int64  `json:"replay_truncated_bytes"`
+	ReplayMicros   int64  `json:"replay_micros"`
+	WALRecords     int64  `json:"wal_records"`
+	WALBytes       int64  `json:"wal_bytes"`
+	WALSyncs       int64  `json:"wal_syncs"`
+	Snapshots      int64  `json:"snapshots"`
+	SnapshotErrors int64  `json:"snapshot_errors"`
+}
+
+// stats is called under the server read lock (which pins d.wal).
+func (d *durability) stats() *durabilityStats {
+	ws := d.wal.Stats()
+	return &durabilityStats{
+		Dir:            d.dir,
+		SyncMode:       d.opts.Sync.String(),
+		Generation:     int(d.gen.Load()),
+		ReplayRecords:  d.replay.Records,
+		ReplayTruncB:   d.replay.TruncatedBytes,
+		ReplayMicros:   d.replayTime.Microseconds(),
+		WALRecords:     ws.Records,
+		WALBytes:       ws.Bytes,
+		WALSyncs:       ws.Syncs,
+		Snapshots:      d.snapshots.Load(),
+		SnapshotErrors: d.snapErrs.Load(),
+	}
+}

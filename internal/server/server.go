@@ -57,8 +57,9 @@ type Server struct {
 	exact   *core.Exact   // non-nil in exact mode
 	oneshot *core.OneShot // non-nil in one-shot mode
 	mux     *http.ServeMux
-	co      *coalescer // non-nil when query coalescing is enabled
-	rco     *coalescer // non-nil when coalescing is enabled on an exact index (/range)
+	co      *coalescer  // non-nil when query coalescing is enabled
+	rco     *coalescer  // non-nil when coalescing is enabled on an exact index (/range)
+	dur     *durability // non-nil on durable servers (see durable.go)
 }
 
 // Option configures a Server at construction time.
@@ -103,14 +104,19 @@ func NewOneShot(db *vec.Dataset, m metric.Metric[[]float32], idx *core.OneShot, 
 }
 
 // Close flushes any parked coalesced queries as a final batch and makes
-// subsequent coalesced queries fail with 503. Safe to call multiple
-// times; a no-op when coalescing is disabled.
+// subsequent coalesced queries fail with 503; on a durable server it
+// also stops the snapshot loop and closes the WAL (one final fsync
+// under SyncInterval/SyncNone). Safe to call multiple times; a no-op
+// when neither coalescing nor durability is configured.
 func (s *Server) Close() {
 	if s.co != nil {
 		s.co.close()
 	}
 	if s.rco != nil {
 		s.rco.close()
+	}
+	if s.dur != nil {
+		_ = s.dur.close()
 	}
 }
 
@@ -123,6 +129,7 @@ func (s *Server) routes() {
 	mux.HandleFunc("POST /insert", s.handleInsert)
 	mux.HandleFunc("POST /delete", s.handleDelete)
 	mux.HandleFunc("POST /rebuild", s.handleRebuild)
+	mux.HandleFunc("POST /snapshot", s.handleSnapshot)
 	s.mux = mux
 }
 
@@ -148,15 +155,18 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 type statsBody struct {
-	Mode          string        `json:"mode"`
-	Metric        string        `json:"metric"`
-	Points        int           `json:"points"`
-	Live          int           `json:"live"`
-	Dim           int           `json:"dim"`
-	NumReps       int           `json:"num_reps"`
-	Dirty         bool          `json:"dirty"`
-	Coalesce      coalesceStats `json:"coalesce"`
-	RangeCoalesce coalesceStats `json:"range_coalesce"`
+	Mode          string           `json:"mode"`
+	Metric        string           `json:"metric"`
+	Points        int              `json:"points"`
+	Live          int              `json:"live"`
+	Dim           int              `json:"dim"`
+	NumReps       int              `json:"num_reps"`
+	Dirty         bool             `json:"dirty"`
+	Buffered      int              `json:"buffered"`
+	SegMerges     int64            `json:"seg_merges"`
+	Coalesce      coalesceStats    `json:"coalesce"`
+	RangeCoalesce coalesceStats    `json:"range_coalesce"`
+	Durability    *durabilityStats `json:"durability,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -167,9 +177,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		body.NumReps = s.exact.NumReps()
 		body.Live = s.exact.Live()
 		body.Dirty = s.exact.Dirty()
+		body.Buffered = s.exact.Buffered()
+		body.SegMerges = s.exact.SegMerges()
 	} else {
 		body.Mode = "oneshot"
 		body.NumReps = s.oneshot.NumReps()
+	}
+	if s.dur != nil {
+		body.Durability = s.dur.stats()
 	}
 	s.mu.RUnlock()
 	if s.co != nil {
@@ -403,6 +418,15 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotImplemented, "mutations require an exact index")
 		return
 	}
+	// Write-ahead: the record reaches the log (durable per the sync
+	// mode) before the in-memory apply and the acknowledgment. A failed
+	// append applies nothing — the index stays consistent with the log.
+	if s.dur != nil {
+		if err := s.dur.logInsert(req.Point); err != nil {
+			writeError(w, http.StatusInternalServerError, "wal append: %v", err)
+			return
+		}
+	}
 	id := s.exact.Insert(req.Point)
 	writeJSON(w, http.StatusOK, map[string]int{"id": id})
 }
@@ -423,6 +447,18 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotImplemented, "mutations require an exact index")
 		return
 	}
+	// Validate before logging (CheckDelete mutates nothing), so a logged
+	// delete always applies cleanly — both here and at replay.
+	if err := s.exact.CheckDelete(req.ID); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if s.dur != nil {
+		if err := s.dur.logDelete(req.ID); err != nil {
+			writeError(w, http.StatusInternalServerError, "wal append: %v", err)
+			return
+		}
+	}
 	if err := s.exact.Delete(req.ID); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
@@ -439,4 +475,19 @@ func (s *Server) handleRebuild(w http.ResponseWriter, r *http.Request) {
 	}
 	s.exact.Rebuild()
 	writeJSON(w, http.StatusOK, map[string]string{"status": "rebuilt"})
+}
+
+// handleSnapshot commits a new snapshot generation on demand (durable
+// servers only); the WAL resets behind the snapshot barrier.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if s.dur == nil {
+		writeError(w, http.StatusNotImplemented, "snapshots require a durable server (-data-dir)")
+		return
+	}
+	gen, err := s.Snapshot()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "snapshot: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"generation": gen})
 }

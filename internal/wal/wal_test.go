@@ -1,0 +1,357 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"hash/crc32"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func tmpLog(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "wal.log")
+}
+
+func mustOpen(t *testing.T, path string, opts Options) (*Log, ReplayStats) {
+	t.Helper()
+	var recs []Record
+	l, st, err := Open(path, opts, func(r Record) error { recs = append(recs, r); return nil })
+	if err != nil {
+		t.Fatalf("Open(%s): %v", path, err)
+	}
+	return l, st
+}
+
+func appendOps(t *testing.T, l *Log, ops []Record) {
+	t.Helper()
+	for i, op := range ops {
+		var err error
+		switch op.Op {
+		case OpInsert:
+			err = l.AppendInsert(op.Point)
+		case OpDelete:
+			err = l.AppendDelete(int(op.ID))
+		}
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+}
+
+func randOps(rng *rand.Rand, n, dim int) []Record {
+	ops := make([]Record, n)
+	for i := range ops {
+		if rng.Intn(3) == 0 {
+			ops[i] = Record{Op: OpDelete, ID: int64(rng.Intn(1000))}
+			continue
+		}
+		p := make([]float32, dim)
+		for j := range p {
+			p[j] = float32(rng.Intn(17)-8) * 0.5
+		}
+		ops[i] = Record{Op: OpInsert, Point: p}
+	}
+	return ops
+}
+
+func recordsEqual(a, b Record) bool {
+	if a.Op != b.Op || a.ID != b.ID || len(a.Point) != len(b.Point) {
+		return false
+	}
+	for i := range a.Point {
+		if math.Float32bits(a.Point[i]) != math.Float32bits(b.Point[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func assertRecords(t *testing.T, label string, got, want []Record) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d records, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		if !recordsEqual(got[i], want[i]) {
+			t.Fatalf("%s record %d: %+v want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	for _, mode := range []SyncMode{SyncAlways, SyncInterval, SyncNone} {
+		t.Run(mode.String(), func(t *testing.T) {
+			path := tmpLog(t)
+			rng := rand.New(rand.NewSource(int64(mode) + 1))
+			ops := randOps(rng, 57, 4)
+			l, st := mustOpen(t, path, Options{Sync: mode, SyncEvery: time.Millisecond})
+			if st.Records != 0 || st.TruncatedBytes != 0 {
+				t.Fatalf("fresh log replayed %+v", st)
+			}
+			appendOps(t, l, ops)
+			ls := l.Stats()
+			if ls.Records != int64(len(ops)) || ls.Appended != int64(len(ops)) {
+				t.Fatalf("stats %+v after %d appends", ls, len(ops))
+			}
+			if mode == SyncAlways && ls.Syncs < int64(len(ops)) {
+				t.Fatalf("SyncAlways issued %d syncs for %d appends", ls.Syncs, len(ops))
+			}
+			if err := l.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatalf("double close: %v", err)
+			}
+			if err := l.AppendDelete(1); !errors.Is(err, ErrClosed) {
+				t.Fatalf("append after close: %v", err)
+			}
+
+			var got []Record
+			l2, st2, err := Open(path, Options{}, func(r Record) error { got = append(got, r); return nil })
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer l2.Close()
+			if st2.Records != len(ops) || st2.TruncatedBytes != 0 {
+				t.Fatalf("replay %+v, want %d records clean", st2, len(ops))
+			}
+			assertRecords(t, "replay", got, ops)
+
+			// Non-mutating inspection agrees.
+			inspect, ist, err := ReadRecords(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ist.Records != len(ops) || ist.TruncatedBytes != 0 {
+				t.Fatalf("ReadRecords stats %+v", ist)
+			}
+			assertRecords(t, "ReadRecords", inspect, ops)
+		})
+	}
+}
+
+// A torn append at EVERY byte boundary of the frame must truncate to
+// exactly the previously durable prefix — never lose an earlier record,
+// never resurrect a partial one.
+func TestWALTornTailEveryOffset(t *testing.T) {
+	base := []Record{
+		{Op: OpInsert, Point: []float32{1, 2, 3}},
+		{Op: OpDelete, ID: 7},
+		{Op: OpInsert, Point: []float32{-0.5, 4.25, 8}},
+	}
+	// Frame size of the record we tear: 8 header + 1 op + 12 coords.
+	const frameLen = 8 + 1 + 12
+	for cut := 0; cut < frameLen; cut++ {
+		path := tmpLog(t)
+		torn := 0
+		l, _, err := Open(path, Options{Sync: SyncAlways, FaultHook: func(frame []byte) int {
+			if torn++; torn <= len(base) {
+				return len(frame) // earlier appends go through whole
+			}
+			return cut
+		}}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		appendOps(t, l, base)
+		if err := l.AppendInsert([]float32{9, 9, 9}); !errors.Is(err, ErrFaultInjected) {
+			t.Fatalf("cut=%d: torn append returned %v", cut, err)
+		}
+		// The log is poisoned after a write fault.
+		if err := l.AppendDelete(1); !errors.Is(err, ErrFaultInjected) {
+			t.Fatalf("cut=%d: poisoned append returned %v", cut, err)
+		}
+		l.Close()
+
+		var got []Record
+		l2, st, err := Open(path, Options{}, func(r Record) error { got = append(got, r); return nil })
+		if err != nil {
+			t.Fatalf("cut=%d: recovery: %v", cut, err)
+		}
+		if st.Records != len(base) {
+			t.Fatalf("cut=%d: recovered %d records, want %d", cut, st.Records, len(base))
+		}
+		if cut > 0 && st.TruncatedBytes != int64(cut) {
+			t.Fatalf("cut=%d: truncated %d bytes", cut, st.TruncatedBytes)
+		}
+		assertRecords(t, "recovered", got, base)
+		// The file is clean again: appends after recovery round-trip.
+		if err := l2.AppendDelete(42); err != nil {
+			t.Fatalf("cut=%d: append after recovery: %v", cut, err)
+		}
+		l2.Close()
+		recs, _, err := ReadRecords(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertRecords(t, "after recovery append", recs, append(append([]Record{}, base...), Record{Op: OpDelete, ID: 42}))
+	}
+}
+
+// Corrupting a byte anywhere in a middle record's frame truncates the
+// log at that record: recovery keeps the prefix before it and is never
+// fatal (prefix semantics — later records are sacrificed, not resurrected
+// out of order).
+func TestWALCorruptCRCTruncatesAtRecord(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ops := randOps(rng, 10, 3)
+	path := tmpLog(t)
+	l, _ := mustOpen(t, path, Options{Sync: SyncAlways})
+	appendOps(t, l, ops)
+	l.Close()
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frame offsets of each record.
+	offs := []int{headerSize}
+	for i := 0; i < len(ops); i++ {
+		plen := int(uint32(clean[offs[i]]) | uint32(clean[offs[i]+1])<<8 | uint32(clean[offs[i]+2])<<16 | uint32(clean[offs[i]+3])<<24)
+		offs = append(offs, offs[i]+frameHead+plen)
+	}
+	for rec := 0; rec < len(ops); rec += 3 {
+		// Flip a payload byte of record rec.
+		dirty := append([]byte(nil), clean...)
+		dirty[offs[rec]+frameHead] ^= 0x40
+		if err := os.WriteFile(path, dirty, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var got []Record
+		l2, st, err := Open(path, Options{}, func(r Record) error { got = append(got, r); return nil })
+		if err != nil {
+			t.Fatalf("rec=%d: recovery: %v", rec, err)
+		}
+		l2.Close()
+		if st.Records != rec {
+			t.Fatalf("rec=%d: recovered %d records", rec, st.Records)
+		}
+		if st.TruncatedBytes != int64(len(clean)-offs[rec]) {
+			t.Fatalf("rec=%d: truncated %d bytes, want %d", rec, st.TruncatedBytes, len(clean)-offs[rec])
+		}
+		assertRecords(t, "prefix", got, ops[:rec])
+	}
+	// A corrupt length field is handled the same way (it cannot be
+	// trusted to frame anything).
+	dirty := append([]byte(nil), clean...)
+	dirty[offs[2]+3] = 0xff // length becomes > maxRecordBytes
+	if err := os.WriteFile(path, dirty, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := ReadRecords(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != 2 {
+		t.Fatalf("corrupt length: %d records, want 2", st.Records)
+	}
+}
+
+func TestWALTruncateBarrier(t *testing.T) {
+	path := tmpLog(t)
+	l, _ := mustOpen(t, path, Options{Sync: SyncAlways})
+	appendOps(t, l, []Record{{Op: OpDelete, ID: 1}, {Op: OpDelete, ID: 2}})
+	if err := l.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	if st := l.Stats(); st.Records != 0 || st.Bytes != headerSize {
+		t.Fatalf("post-truncate stats %+v", st)
+	}
+	// Records appended after the barrier are the only ones recovered.
+	post := []Record{{Op: OpInsert, Point: []float32{1}}, {Op: OpDelete, ID: 3}}
+	appendOps(t, l, post)
+	l.Close()
+	got, st, err := ReadRecords(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Records != len(post) || st.TruncatedBytes != 0 {
+		t.Fatalf("post-barrier replay %+v", st)
+	}
+	assertRecords(t, "post-barrier", got, post)
+}
+
+func TestWALTornHeaderResets(t *testing.T) {
+	path := tmpLog(t)
+	// A crash during the very first header write leaves a magic prefix.
+	if err := os.WriteFile(path, walMagic[:3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, st := mustOpen(t, path, Options{})
+	if st.Records != 0 || st.TruncatedBytes != 3 {
+		t.Fatalf("torn header replay %+v", st)
+	}
+	if err := l.AppendDelete(5); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	got, _, err := ReadRecords(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertRecords(t, "after header reset", got, []Record{{Op: OpDelete, ID: 5}})
+}
+
+func TestWALRejectsForeignFile(t *testing.T) {
+	path := tmpLog(t)
+	if err := os.WriteFile(path, []byte("definitely not a WAL"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(path, Options{}, nil); err == nil {
+		t.Fatal("foreign file accepted")
+	}
+	if _, _, err := ReadRecords(path); err == nil {
+		t.Fatal("foreign file accepted by ReadRecords")
+	}
+}
+
+func TestWALApplyErrorAborts(t *testing.T) {
+	path := tmpLog(t)
+	l, _ := mustOpen(t, path, Options{Sync: SyncAlways})
+	appendOps(t, l, []Record{{Op: OpDelete, ID: 1}})
+	l.Close()
+	wantErr := errors.New("index said no")
+	if _, _, err := Open(path, Options{}, func(Record) error { return wantErr }); !errors.Is(err, wantErr) {
+		t.Fatalf("apply error not propagated: %v", err)
+	}
+}
+
+// A CRC-valid frame whose payload is structurally foreign (unknown op,
+// misaligned insert body) ends the prefix like corruption does.
+func TestWALStructurallyForeignPayload(t *testing.T) {
+	for _, payload := range [][]byte{
+		{0x7f, 1, 2, 3},           // unknown op
+		{byte(OpInsert), 1, 2, 3}, // 3 coord bytes: not a float32 multiple
+		{byte(OpDelete), 1, 2, 3}, // delete body must be 8 bytes
+	} {
+		path := tmpLog(t)
+		l, _ := mustOpen(t, path, Options{Sync: SyncAlways})
+		appendOps(t, l, []Record{{Op: OpDelete, ID: 9}})
+		l.Close()
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var frame bytes.Buffer
+		var hdr [8]byte
+		hdr[0] = byte(len(payload))
+		crc := crc32.Checksum(payload, castagnoli)
+		hdr[4], hdr[5], hdr[6], hdr[7] = byte(crc), byte(crc>>8), byte(crc>>16), byte(crc>>24)
+		frame.Write(hdr[:])
+		frame.Write(payload)
+		if err := os.WriteFile(path, append(raw, frame.Bytes()...), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, st, err := ReadRecords(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Records != 1 || len(got) != 1 {
+			t.Fatalf("payload %v: recovered %d records, want 1", payload, st.Records)
+		}
+	}
+}
