@@ -50,6 +50,11 @@ func main() {
 		serveSecs   = flag.Float64("serve-secs", 3, "serving mode: seconds per measured configuration")
 		serveBatch  = flag.Int("serve-batch", 0, "serving mode: coalescer max batch (0 = concurrency)")
 		serveWait   = flag.Duration("serve-wait", 500*time.Microsecond, "serving mode: coalescer max wait")
+
+		shardAddrs = flag.String("shard-addrs", "", "networked mode: comma-separated rbc-shard addresses (one per shard); benchmarks the cluster over TCP vs loopback (uses -serve-n/-serve-dim/-serve-secs)")
+		netK       = flag.Int("net-k", 5, "networked mode: neighbors per query")
+		netBlock   = flag.Int("net-block", 64, "networked mode: queries per batched fan-out")
+		netTimeout = flag.Duration("net-timeout", 10*time.Second, "networked mode: per-attempt shard request deadline")
 	)
 	flag.Parse()
 
@@ -62,6 +67,25 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "rbc-bench: %v\n", err)
 		os.Exit(2)
+	}
+
+	if *shardAddrs != "" {
+		var addrs []string
+		for _, a := range strings.Split(*shardAddrs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		err := runNetBench(netBenchConfig{
+			addrs: addrs, n: *serveN, dim: *serveDim,
+			k: *netK, block: *netBlock, secs: *serveSecs,
+			seed: *seed, timeout: *netTimeout,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rbc-bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *concurrency > 0 {

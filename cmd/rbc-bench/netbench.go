@@ -1,0 +1,134 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/distributed"
+	"repro/internal/metric"
+	"repro/internal/vec"
+)
+
+// netBenchConfig parameterizes the networked-cluster benchmark
+// (-shard-addrs).
+type netBenchConfig struct {
+	addrs   []string // one rbc-shard address per shard
+	n, dim  int      // database size and dimension
+	k       int      // neighbors per query
+	block   int      // queries per batched fan-out
+	secs    float64  // measurement window per backend
+	seed    int64
+	timeout time.Duration // per-attempt request deadline
+}
+
+// runNetBench drives the same RBC cluster twice — on the in-process
+// loopback transport and over TCP to real rbc-shard processes — and
+// reports block throughput plus the wire accounting the loopback run
+// can only simulate: per-shard requests, retries, bytes out/in and
+// mean RTT. A bit-identity check between the two backends runs first,
+// so a CI smoke that reaches the report lines has also proven the
+// cross-process equivalence corpus.
+func runNetBench(cfg netBenchConfig) error {
+	shards := len(cfg.addrs)
+	const queryPool = 512
+	all := dataset.GaussianClusters(cfg.n+queryPool, cfg.dim, 32, 5.0, cfg.seed)
+	ids := make([]int, cfg.n)
+	for i := range ids {
+		ids[i] = i
+	}
+	db := all.Subset(ids)
+	queries := vec.New(cfg.dim, queryPool)
+	for i := 0; i < queryPool; i++ {
+		queries.Append(all.Row(cfg.n + i))
+	}
+	prm := core.ExactParams{Seed: cfg.seed, EarlyExit: true}
+
+	fmt.Printf("building %d-shard cluster: n=%d dim=%d ... ", shards, cfg.n, cfg.dim)
+	start := time.Now()
+	loop, err := distributed.Build(db, metric.Euclidean{}, prm, shards, distributed.DefaultCostModel())
+	if err != nil {
+		return err
+	}
+	defer loop.Close()
+	netCl, err := distributed.Build(db, metric.Euclidean{}, prm, shards, distributed.DefaultCostModel())
+	if err != nil {
+		return err
+	}
+	defer netCl.Close()
+	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
+
+	fmt.Printf("distributing to %d shard processes ... ", shards)
+	start = time.Now()
+	if err := netCl.Distribute(cfg.addrs, distributed.TCPOptions{RequestTimeout: cfg.timeout}); err != nil {
+		return err
+	}
+	fmt.Printf("done in %v\n", time.Since(start).Round(time.Millisecond))
+
+	// Equivalence smoke before timing anything: the networked answers
+	// must be bit-identical to loopback across the pool.
+	block := queries.Subset(seqInts(0, min(cfg.block, queryPool)))
+	want, _, err := loop.KNNBatch(block, cfg.k)
+	if err != nil {
+		return err
+	}
+	got, _, err := netCl.KNNBatch(block, cfg.k)
+	if err != nil {
+		return fmt.Errorf("networked KNNBatch: %w", err)
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				return fmt.Errorf("equivalence violation at query %d pos %d: tcp %+v vs loopback %+v",
+					i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+	fmt.Printf("equivalence: networked answers bit-identical to loopback (%d queries, k=%d)\n\n", block.N(), cfg.k)
+
+	for _, be := range []struct {
+		name string
+		cl   *distributed.Cluster
+	}{{"loopback", loop}, {"tcp", netCl}} {
+		blocks, qs := 0, 0
+		var met distributed.QueryMetrics
+		bstart := time.Now()
+		for time.Since(bstart).Seconds() < cfg.secs {
+			lo := (blocks * cfg.block) % queryPool
+			n := min(cfg.block, queryPool-lo)
+			sub := queries.Subset(seqInts(lo, n))
+			_, m, err := be.cl.KNNBatch(sub, cfg.k)
+			if err != nil {
+				return fmt.Errorf("%s KNNBatch: %w", be.name, err)
+			}
+			met.Add(m)
+			blocks++
+			qs += n
+		}
+		secs := time.Since(bstart).Seconds()
+		fmt.Printf("%-8s  %8.0f queries/s  %6.1f blocks/s  (block=%d k=%d, %d shard reqs, %.1f MB fan-out)\n",
+			be.name, float64(qs)/secs, float64(blocks)/secs, cfg.block, cfg.k,
+			met.ShardsContacted, float64(met.Bytes)/1e6)
+	}
+
+	fmt.Printf("\nper-shard wire stats (tcp backend):\n")
+	fmt.Printf("%-22s %9s %8s %9s %12s %12s %10s\n", "addr", "requests", "retries", "failures", "bytes-out", "bytes-in", "mean-rtt")
+	for _, st := range netCl.NetStats() {
+		meanRTT := time.Duration(0)
+		if st.Requests > 0 {
+			meanRTT = st.RTT / time.Duration(st.Requests)
+		}
+		fmt.Printf("%-22s %9d %8d %9d %12d %12d %10v\n",
+			st.Addr, st.Requests, st.Retries, st.Failures, st.BytesSent, st.BytesRecv, meanRTT.Round(time.Microsecond))
+	}
+	return nil
+}
+
+func seqInts(lo, n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}

@@ -19,7 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
+	"net"
 	"os"
 	"os/signal"
 	"syscall"
@@ -33,17 +33,18 @@ import (
 
 func main() {
 	var (
-		dataPath  = flag.String("data", "", "dataset file (RBCV binary; required unless -data-dir holds a snapshot)")
-		dataDir   = flag.String("data-dir", "", "durability directory (WAL + snapshots; exact mode only)")
-		walSync   = flag.String("wal-sync", "always", "WAL fsync policy: always, interval, or none")
-		walEvery  = flag.Duration("wal-sync-every", 50*time.Millisecond, "group-commit interval under -wal-sync interval")
-		snapEvery = flag.Duration("snapshot-every", 0, "periodic snapshot interval (0 disables; POST /snapshot always works)")
-		mode      = flag.String("mode", "exact", "index type: exact or oneshot")
-		numReps   = flag.Int("reps", 0, "number of representatives (0 = sqrt(n))")
-		seed      = flag.Int64("seed", 1, "random seed")
-		addr      = flag.String("addr", ":8080", "listen address")
-		batchMax  = flag.Int("batch-max", 64, "coalesce up to this many concurrent queries per batch (<=1 disables)")
-		batchWait = flag.Duration("batch-wait", 500*time.Microsecond, "max time a query parks waiting for its batch to fill")
+		dataPath     = flag.String("data", "", "dataset file (RBCV binary; required unless -data-dir holds a snapshot)")
+		dataDir      = flag.String("data-dir", "", "durability directory (WAL + snapshots; exact mode only)")
+		walSync      = flag.String("wal-sync", "always", "WAL fsync policy: always, interval, or none")
+		walEvery     = flag.Duration("wal-sync-every", 50*time.Millisecond, "group-commit interval under -wal-sync interval")
+		snapEvery    = flag.Duration("snapshot-every", 0, "periodic snapshot interval (0 disables; POST /snapshot always works)")
+		mode         = flag.String("mode", "exact", "index type: exact or oneshot")
+		numReps      = flag.Int("reps", 0, "number of representatives (0 = sqrt(n))")
+		seed         = flag.Int64("seed", 1, "random seed")
+		addr         = flag.String("addr", ":8080", "listen address")
+		batchMax     = flag.Int("batch-max", 64, "coalesce up to this many concurrent queries per batch (<=1 disables)")
+		batchWait    = flag.Duration("batch-wait", 500*time.Microsecond, "max time a query parks waiting for its batch to fill")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight requests on SIGINT/SIGTERM")
 	)
 	flag.Parse()
 	if *dataPath == "" && *dataDir == "" {
@@ -105,18 +106,20 @@ func main() {
 	if *batchMax > 1 {
 		log.Printf("query coalescing: up to %d queries per batch, max wait %v", *batchMax, *batchWait)
 	}
-	// On SIGINT/SIGTERM, drain parked coalesced queries before exiting
-	// (log.Fatal would skip deferred Close, so shutdown is explicit).
+	// On SIGINT/SIGTERM, drain in-flight HTTP requests (http.Server
+	// Shutdown), then flush parked coalesced queries and close the WAL.
+	// The old path (srv.Close + os.Exit around ListenAndServe) cut
+	// responses mid-body and could ack an /insert while the WAL was
+	// closing under it.
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
-	go func() {
-		sig := <-sigc
-		log.Printf("received %v, draining pending queries", sig)
-		srv.Close()
-		os.Exit(0)
-	}()
-	log.Printf("serving on %s", *addr)
-	err = http.ListenAndServe(*addr, srv)
-	srv.Close()
-	log.Fatal(err)
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("rbc-server: %v", err)
+	}
+	log.Printf("serving on %s", ln.Addr())
+	if err := server.GracefulServe(ln, srv, srv.Close, sigc, *drainTimeout); err != nil {
+		log.Fatalf("rbc-server: %v", err)
+	}
+	log.Printf("shutdown complete")
 }

@@ -1,0 +1,73 @@
+// Command rbc-shard serves one RBC shard over the cluster's
+// length-prefixed binary protocol (internal/distributed/wire).
+//
+// A shard process starts empty and generic: it holds no data until a
+// coordinator pushes its segments with Cluster.Distribute, after which
+// it answers batched scan requests with the exact same shard-scan code
+// the in-process cluster runs — answers over TCP are bit-identical to
+// loopback by construction.
+//
+// Usage:
+//
+//	rbc-shard -addr 127.0.0.1:7001 [-addr-file path]
+//
+// With -addr-file the actual listen address (useful with ":0") is
+// written atomically (tmp + rename) once the listener is up, so
+// supervisors and tests can wait for the file instead of polling the
+// port. SIGINT/SIGTERM shut the server down cleanly: the listener
+// closes, open connections are torn down (the coordinator's retry and
+// degradation policy takes it from there) and the process exits 0.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+
+	"repro/internal/distributed"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7001", "TCP address to listen on (use :0 for an ephemeral port)")
+	addrFile := flag.String("addr-file", "", "write the actual listen address to this file (atomic tmp+rename) once ready")
+	flag.Parse()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("rbc-shard: listen %s: %v", *addr, err)
+	}
+	if *addrFile != "" {
+		if err := writeAddrFile(*addrFile, ln.Addr().String()); err != nil {
+			log.Fatalf("rbc-shard: %v", err)
+		}
+	}
+	log.Printf("rbc-shard: listening on %s (no shard state; awaiting coordinator load)", ln.Addr())
+
+	srv := distributed.NewShardServer()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		log.Printf("rbc-shard: %v: shutting down", s)
+		srv.Close()
+	}()
+	if err := srv.Serve(ln); err != nil {
+		log.Fatalf("rbc-shard: serve: %v", err)
+	}
+}
+
+func writeAddrFile(path, addr string) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(addr+"\n"), 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("rename %s: %w", filepath.Base(tmp), err)
+	}
+	return nil
+}

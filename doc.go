@@ -66,6 +66,19 @@
 // equivalence fuzz harness (repro/internal/search) pins all of this
 // against the brute-force reference.
 //
+// The cluster also runs over a real wire: cmd/rbc-shard serves shard
+// segments as a standalone process speaking a length-prefixed,
+// CRC-32C-checked binary protocol (repro/internal/distributed/wire —
+// the same framing discipline as the WAL), and Cluster.Distribute
+// pushes the shard state to a list of addresses and swaps the fan-out
+// onto a TCP transport with pooled connections, per-request deadlines
+// and bounded retry. Shard failures follow a declared degradation
+// policy — fail fast with a typed per-shard error, or merge the
+// survivors and account the gap in QueryMetrics.FailedShards — and
+// answers over TCP are bit-identical to the in-process cluster, a
+// contract enforced by fault-injection and multi-process equivalence
+// tests (corrupt frames, killed shards, induced timeouts).
+//
 // # Durable mutable serving
 //
 // Exact is online-mutable: Insert appends a point and splices it into

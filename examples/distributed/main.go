@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"log"
 	"math"
+	"net"
 	"time"
 
 	"repro/internal/core"
@@ -47,8 +48,8 @@ func main() {
 	diverged := 0
 	for qi := 0; qi < nQueries; qi++ {
 		q := all.Row(n + qi)
-		r, mr := cluster.Query(q)
-		b, mb := cluster.QueryBroadcast(q)
+		r, mr, _ := cluster.Query(q)
+		b, mb, _ := cluster.QueryBroadcast(q)
 		if r.Dist != b.Dist {
 			diverged++
 		}
@@ -79,10 +80,10 @@ func main() {
 	for i := range qids {
 		qids[i] = n + i
 	}
-	batch, bm := cluster.QueryBatch(all.Subset(qids))
+	batch, bm, _ := cluster.QueryBatch(all.Subset(qids))
 	divergedBatch := 0
 	for qi := 0; qi < nQueries; qi++ {
-		r, _ := cluster.Query(all.Row(n + qi))
+		r, _, _ := cluster.Query(all.Row(n + qi))
 		if batch[qi] != r {
 			divergedBatch++
 		}
@@ -99,12 +100,12 @@ func main() {
 	const k = 10
 	queries := all.Subset(qids)
 	start := time.Now()
-	knnBatch, km := cluster.KNNBatch(queries, k)
+	knnBatch, km, _ := cluster.KNNBatch(queries, k)
 	batchSecs := time.Since(start).Seconds()
 	perQueryKNN := make([][]par.Neighbor, nQueries)
 	start = time.Now()
 	for qi := 0; qi < nQueries; qi++ {
-		perQueryKNN[qi], _ = cluster.KNN(queries.Row(qi), k)
+		perQueryKNN[qi], _, _ = cluster.KNN(queries.Row(qi), k)
 	}
 	perSecs := time.Since(start).Seconds()
 	divergedKNN := 0
@@ -131,7 +132,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer winCluster.Close()
-	knnWin, wm := winCluster.KNNBatch(queries, k)
+	knnWin, wm, _ := winCluster.KNNBatch(queries, k)
 	divergedWin := 0
 	for qi := 0; qi < nQueries; qi++ {
 		for p := range knnBatch[qi] {
@@ -144,4 +145,53 @@ func main() {
 		k, wm.PointEvals, km.PointEvals, float64(wm.PointEvals)/float64(km.PointEvals),
 		wm.Windows, float64(wm.Windows)*distributed.WindowBytes/1024, wm.EmptyWindows)
 	fmt.Printf("windowed answers bit-identical to full scan: %d positions diverged (expect 0)\n", divergedWin)
+
+	// Networked: the same cluster over a real wire. Each shard server
+	// here runs in-process on its own TCP listener — in production each
+	// is a separate `rbc-shard` process (or host). Distribute pushes the
+	// shard state over the length-prefixed CRC-checked protocol, and
+	// every later fan-out goes through pooled connections with deadlines
+	// and retries. Answers stay bit-identical to the in-process cluster.
+	netCluster, err := distributed.Build(db, metric.Euclidean{},
+		core.ExactParams{NumReps: nr, Seed: seed, ExactCount: true, EarlyExit: true},
+		shards, distributed.DefaultCostModel())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer netCluster.Close()
+	addrs := make([]string, shards)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		sv := distributed.NewShardServer()
+		go sv.Serve(ln)
+		defer sv.Close()
+		addrs[i] = ln.Addr().String()
+	}
+	if err := netCluster.Distribute(addrs, distributed.TCPOptions{}); err != nil {
+		log.Fatal(err)
+	}
+	knnNet, nm, err := netCluster.KNNBatch(queries, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	divergedNet := 0
+	for qi := 0; qi < nQueries; qi++ {
+		for p := range knnWin[qi] {
+			if knnNet[qi][p] != knnWin[qi][p] {
+				divergedNet++
+			}
+		}
+	}
+	fmt.Printf("\nnetworked %d-NN block over TCP to %d shard servers: %d shard requests, answers bit-identical: %d positions diverged (expect 0)\n",
+		k, shards, nm.ShardsContacted, divergedNet)
+	var wireOut, wireIn int64
+	for _, st := range netCluster.NetStats() {
+		wireOut += st.BytesSent
+		wireIn += st.BytesRecv
+	}
+	fmt.Printf("wire accounting: %.1f KB sent, %.1f KB received across %d shard connections (0 retries expected on loopback)\n",
+		float64(wireOut)/1024, float64(wireIn)/1024, shards)
 }

@@ -166,8 +166,8 @@ func perPairKNNBatch(cl *Cluster, queries *vec.Dataset, k int) [][]par.Neighbor 
 // by contract, so the ratio is a pure cost number).
 func BenchmarkClusterKNNBatch(b *testing.B) {
 	cl, clWin, queries := benchClusters(b)
-	_, full := cl.KNNBatch(queries, benchK)
-	_, win := clWin.KNNBatch(queries, benchK)
+	_, full, _ := cl.KNNBatch(queries, benchK)
+	_, win, _ := clWin.KNNBatch(queries, benchK)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -182,7 +182,7 @@ func BenchmarkClusterKNNBatch(b *testing.B) {
 // admissible windows clipping every taker's scan range.
 func BenchmarkClusterKNNBatchWindowed(b *testing.B) {
 	_, clWin, queries := benchClusters(b)
-	_, win := clWin.KNNBatch(queries, benchK)
+	_, win, _ := clWin.KNNBatch(queries, benchK)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -226,7 +226,7 @@ func TestPerPairBaselineAgrees(t *testing.T) {
 	}
 	defer cl.Close()
 	queries := clustered(rand.New(rand.NewSource(5171)), 30, 6, 8)
-	tiled, _ := cl.KNNBatch(queries, 5)
+	tiled, _, _ := cl.KNNBatch(queries, 5)
 	base := perPairKNNBatch(cl, queries, 5)
 	for i := range tiled {
 		if len(tiled[i]) != len(base[i]) {

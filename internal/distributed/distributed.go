@@ -75,9 +75,33 @@
 // would void the window's boundary guarantees along with the rest of the
 // contract.
 //
-// Shards run as goroutines connected by channels (real concurrency), and
-// a cost model accounts for messages, bytes and simulated latency so the
+// # Transports: loopback and TCP
+//
+// Build starts the cluster on the in-process loopback transport: shards
+// run as goroutines connected by channels (real concurrency), and a
+// cost model accounts for messages, bytes and simulated latency so the
 // experiments can report communication costs, as §8 calls for.
+//
+// Cluster.Distribute lifts the same cluster onto real shard processes
+// (cmd/rbc-shard) speaking the length-prefixed, CRC-checked binary
+// protocol of the internal/distributed/wire package: each shard's
+// gathered state is pushed once (MsgLoad), then every fan-out sends one
+// MsgScan per shard per block — the wire form of shardRequest, windows
+// and bounds included. Distances cross the wire as IEEE-754 bit
+// patterns and the remote scan path is the same shard.scan code, so
+// answers over TCP are bit-identical to loopback and to core.Exact;
+// the loopback transport doubles as the correctness oracle in the
+// equivalence tests.
+//
+// The TCP client pools connections per shard, bounds every attempt with
+// a deadline, and retries transient failures (connect errors, IO
+// errors, torn or corrupt frames) with doubling backoff up to
+// TCPOptions.MaxAttempts. A shard that stays unreachable either fails
+// the batch with a typed *ShardError (DegradeFailFast, the default) or
+// is skipped with the miss accounted in QueryMetrics.FailedShards
+// (DegradePartial). Queries never hang on a dead shard: every attempt
+// is deadline-bounded, so the worst case is MaxAttempts×RequestTimeout
+// plus backoff.
 package distributed
 
 import (
@@ -88,6 +112,7 @@ import (
 
 	"repro/internal/bruteforce"
 	"repro/internal/core"
+	"repro/internal/distributed/wire"
 	"repro/internal/metric"
 	"repro/internal/par"
 	"repro/internal/vec"
@@ -142,6 +167,12 @@ type QueryMetrics struct {
 	// SimTimeUS is the modeled latency: coordinator work plus the slowest
 	// contacted shard's (transfer + scan + reply) path.
 	SimTimeUS float64
+	// FailedShards counts contacted shards whose answers never arrived
+	// (networked transport under DegradePartial only — every other
+	// configuration surfaces the failure as an error instead). A nonzero
+	// count means the merged results may be missing neighbors held by
+	// the failed shards.
+	FailedShards int
 }
 
 // Add accumulates o into m (used for run totals).
@@ -155,6 +186,7 @@ func (m *QueryMetrics) Add(o QueryMetrics) {
 	m.Windows += o.Windows
 	m.EmptyWindows += o.EmptyWindows
 	m.SimTimeUS += o.SimTimeUS
+	m.FailedShards += o.FailedShards
 }
 
 // shard owns a contiguous group of representatives and their gathered
@@ -341,13 +373,22 @@ func (s *shard) scan(req shardRequest) shardReply {
 	return rep
 }
 
-// Cluster is a simulated RBC-sharded deployment.
+// Cluster is an RBC-sharded deployment. Build starts it on the
+// in-process loopback transport (shard goroutines connected by
+// channels); Distribute lifts the same cluster onto TCP shard processes
+// without changing a single answer bit.
 type Cluster struct {
-	m      metric.Metric[[]float32]
-	ker    *metric.Kernel // exact grade, shared by coordinator and shards
-	dim    int
-	cost   CostModel
-	shards []*shard
+	m    metric.Metric[[]float32]
+	ker  *metric.Kernel // exact grade, shared by coordinator and shards
+	dim  int
+	cost CostModel
+
+	// shards holds the in-process shard state while the cluster runs on
+	// loopback; Distribute ships it to the remote processes and then
+	// frees it (nil afterwards — loads/segCounts keep the shape).
+	shards    []*shard
+	loads     []int // points held per shard (survives Distribute)
+	segCounts []int // segments held per shard (survives Distribute)
 
 	// windowed enables the shard-side EarlyExit windows (set by Build
 	// from core.ExactParams.EarlyExit; see the package comment).
@@ -361,8 +402,14 @@ type Cluster struct {
 	repShard []int32
 	repSeg   []int32
 
-	mu     sync.Mutex
+	// lifeMu serializes lifecycle transitions against in-flight queries:
+	// entry points hold the read side across their whole fan-out, so
+	// Close (write side) cannot tear the transport down under them —
+	// the send-on-closed-channel panic the old Close had — and
+	// query-after-Close gets ErrClusterClosed instead of a panic.
+	lifeMu sync.RWMutex
 	closed bool
+	tr     transport
 }
 
 // Build constructs a cluster of `shards` shards over db. It builds a
@@ -454,8 +501,11 @@ func Build(db *vec.Dataset, m metric.Metric[[]float32], prm core.ExactParams, sh
 			sh.segDists = nil
 		}
 		c.shards = append(c.shards, sh)
+		c.loads = append(c.loads, len(sh.ids))
+		c.segCounts = append(c.segCounts, len(sh.offsets)-1)
 		go sh.serve()
 	}
+	c.tr = &loopback{shards: c.shards}
 	return c, nil
 }
 
@@ -476,14 +526,12 @@ func assignment(db, repData *vec.Dataset, m metric.Metric[[]float32]) ([][]int32
 }
 
 // NumShards reports the cluster size.
-func (c *Cluster) NumShards() int { return len(c.shards) }
+func (c *Cluster) NumShards() int { return len(c.loads) }
 
 // ShardLoads returns the number of database points held per shard.
 func (c *Cluster) ShardLoads() []int {
-	out := make([]int, len(c.shards))
-	for i, s := range c.shards {
-		out[i] = len(s.ids)
-	}
+	out := make([]int, len(c.loads))
+	copy(out, c.loads)
 	return out
 }
 
@@ -528,23 +576,32 @@ func (sb *shardBatch) add(qi, seg int, win []float64) {
 // representatives exactly as the single-machine exact search does, then
 // contacts only the shards owning survivors. It is QueryBatch on a
 // one-query block.
-func (c *Cluster) Query(q []float32) (core.Result, QueryMetrics) {
-	res, met := c.QueryBatch(vec.FromFlat(q, len(q)))
-	return res[0], met
+func (c *Cluster) Query(q []float32) (core.Result, QueryMetrics, error) {
+	res, met, err := c.QueryBatch(vec.FromFlat(q, len(q)))
+	if err != nil {
+		return core.Result{ID: -1, Dist: math.Inf(1)}, met, err
+	}
+	return res[0], met, nil
 }
 
 // KNN answers one k-NN query; it is KNNBatch on a one-query block and
 // bit-identical to the query's row in any batched call.
-func (c *Cluster) KNN(q []float32, k int) ([]par.Neighbor, QueryMetrics) {
-	nbs, met := c.KNNBatch(vec.FromFlat(q, len(q)), k)
-	return nbs[0], met
+func (c *Cluster) KNN(q []float32, k int) ([]par.Neighbor, QueryMetrics, error) {
+	nbs, met, err := c.KNNBatch(vec.FromFlat(q, len(q)), k)
+	if err != nil {
+		return nil, met, err
+	}
+	return nbs[0], met, nil
 }
 
 // QueryBatch answers a block of 1-NN queries with batched shard fan-out.
 // It is KNNBatch at k = 1, where the pruning bounds degenerate to the
 // paper's exact-search rules (γ_k = γ_1, 2γ_k + γ_1 = 3γ).
-func (c *Cluster) QueryBatch(queries *vec.Dataset) ([]core.Result, QueryMetrics) {
-	nbs, met := c.KNNBatch(queries, 1)
+func (c *Cluster) QueryBatch(queries *vec.Dataset) ([]core.Result, QueryMetrics, error) {
+	nbs, met, err := c.KNNBatch(queries, 1)
+	if err != nil {
+		return nil, met, err
+	}
 	out := make([]core.Result, len(nbs))
 	for i, nb := range nbs {
 		if len(nb) == 0 {
@@ -553,7 +610,7 @@ func (c *Cluster) QueryBatch(queries *vec.Dataset) ([]core.Result, QueryMetrics)
 		}
 		out[i] = core.Result{ID: nb[0].ID, Dist: nb[0].Dist}
 	}
-	return out, met
+	return out, met, nil
 }
 
 // KNNBatch answers a block of k-NN queries with batched shard fan-out.
@@ -567,26 +624,40 @@ func (c *Cluster) QueryBatch(queries *vec.Dataset) ([]core.Result, QueryMetrics)
 // during their scans in exchange. The merge runs in ordering space, so
 // results are bit-identical to core.Exact and to per-query KNN calls
 // (see the package comment for the contract).
-func (c *Cluster) KNNBatch(queries *vec.Dataset, k int) ([][]par.Neighbor, QueryMetrics) {
+//
+// On a networked cluster a shard that stays unreachable after the
+// transport's retry budget either fails the whole batch with a typed
+// *ShardError (DegradeFailFast, the default) or is skipped with the
+// miss accounted in QueryMetrics.FailedShards (DegradePartial). After
+// Close every call returns ErrClusterClosed.
+func (c *Cluster) KNNBatch(queries *vec.Dataset, k int) ([][]par.Neighbor, QueryMetrics, error) {
 	nq := queries.N()
 	out := make([][]par.Neighbor, nq)
 	var met QueryMetrics
 	if nq == 0 || k <= 0 {
-		return out, met
+		return out, met, nil
 	}
 	c.checkDim(queries.Dim)
+	c.lifeMu.RLock()
+	defer c.lifeMu.RUnlock()
+	if c.closed {
+		return nil, met, ErrClusterClosed
+	}
 	heaps, bounds, batches := c.plan(queries, k, &met)
-	c.finish(queries, k, batches, bounds, false, &met, func(rp shardReply, qidx []int) {
+	err := c.finish(queries, k, batches, bounds, false, &met, func(rp shardReply, qidx []int) {
 		for t, qi := range qidx {
 			for _, nb := range rp.knn[t] {
 				heaps[qi].Push(nb.ID, nb.Dist)
 			}
 		}
 	})
+	if err != nil {
+		return nil, met, err
+	}
 	for i, h := range heaps {
 		out[i] = c.toNeighbors(h)
 	}
-	return out, met
+	return out, met, nil
 }
 
 // plan runs the coordinator phase over a query block: the shared tiled
@@ -683,7 +754,7 @@ func (c *Cluster) plan(queries *vec.Dataset, k int, met *QueryMetrics) ([]*par.K
 		})
 	met.RepEvals += st.RepEvals
 	met.Evals += st.RepEvals
-	batches := make([]shardBatch, len(c.shards))
+	batches := make([]shardBatch, len(c.segCounts))
 	for i := 0; i < nq; i++ {
 		base := i * nr
 		for si := 0; si < survN[i]; si++ {
@@ -715,18 +786,23 @@ func (c *Cluster) toNeighbors(h *par.KHeap) []par.Neighbor {
 // everything it holds, representatives included (the coordinator's
 // representative knowledge is deliberately unused). The baseline for the
 // §8 experiments.
-func (c *Cluster) QueryBroadcast(q []float32) (core.Result, QueryMetrics) {
+func (c *Cluster) QueryBroadcast(q []float32) (core.Result, QueryMetrics, error) {
 	var met QueryMetrics
 	best := par.Neighbor{ID: -1, Dist: math.Inf(1)}
-	batches := make([]shardBatch, len(c.shards))
-	for sid, sh := range c.shards {
-		for seg := 0; seg < len(sh.offsets)-1; seg++ {
+	batches := make([]shardBatch, len(c.segCounts))
+	for sid, nseg := range c.segCounts {
+		for seg := 0; seg < nseg; seg++ {
 			batches[sid].add(0, seg, nil)
 		}
 	}
 	queries := vec.FromFlat(q, len(q))
 	c.checkDim(queries.Dim)
-	c.finish(queries, 1, batches, nil, true, &met, func(rp shardReply, qidx []int) {
+	c.lifeMu.RLock()
+	defer c.lifeMu.RUnlock()
+	if c.closed {
+		return core.Result{ID: -1, Dist: math.Inf(1)}, met, ErrClusterClosed
+	}
+	err := c.finish(queries, 1, batches, nil, true, &met, func(rp shardReply, qidx []int) {
 		if len(rp.knn[0]) == 0 {
 			return
 		}
@@ -735,10 +811,13 @@ func (c *Cluster) QueryBroadcast(q []float32) (core.Result, QueryMetrics) {
 			best = nb
 		}
 	})
-	if best.ID < 0 {
-		return core.Result{ID: -1, Dist: math.Inf(1)}, met
+	if err != nil {
+		return core.Result{ID: -1, Dist: math.Inf(1)}, met, err
 	}
-	return core.Result{ID: best.ID, Dist: c.ker.ToDistance(best.Dist)}, met
+	if best.ID < 0 {
+		return core.Result{ID: -1, Dist: math.Inf(1)}, met, nil
+	}
+	return core.Result{ID: best.ID, Dist: c.ker.ToDistance(best.Dist)}, met, nil
 }
 
 // finish fans a query block out to the shards with work, merges answers
@@ -747,8 +826,21 @@ func (c *Cluster) QueryBroadcast(q []float32) (core.Result, QueryMetrics) {
 // vectors (plus pruning bounds and — on windowed clusters — the
 // per-(query, segment) admissible windows, 16 bytes each) out and k
 // results per query back.
-func (c *Cluster) finish(queries *vec.Dataset, k int, batches []shardBatch, bounds []float64, includeReps bool, met *QueryMetrics, sink func(rp shardReply, qidx []int)) {
-	reply := make(chan shardReply, len(batches))
+//
+// Fan-out runs one goroutine per contacted shard through the installed
+// transport (loopback channels or TCP); sink runs only on the collector
+// goroutine, so merge state needs no locking. A shard the transport
+// gives up on either fails the batch (DegradeFailFast: first error
+// wins, returned after all replies drain) or is skipped with the miss
+// counted in met.FailedShards (DegradePartial). The caller holds
+// c.lifeMu.RLock, so the transport cannot be closed mid-flight.
+func (c *Cluster) finish(queries *vec.Dataset, k int, batches []shardBatch, bounds []float64, includeReps bool, met *QueryMetrics, sink func(rp shardReply, qidx []int)) error {
+	type scanResult struct {
+		sid int
+		rp  shardReply
+		err error
+	}
+	results := make(chan scanResult, len(batches))
 	queryBytes := c.dim*float32Bytes + 16
 	if bounds != nil {
 		queryBytes += boundBytes
@@ -771,7 +863,11 @@ func (c *Cluster) finish(queries *vec.Dataset, k int, batches []shardBatch, boun
 				bs[t] = bounds[qi]
 			}
 		}
-		c.shards[sid].reqs <- shardRequest{qs: qs, segs: sb.segs, wins: sb.wins, bounds: bs, k: k, includeReps: includeReps, reply: reply}
+		req := &shardRequest{qs: qs, segs: sb.segs, wins: sb.wins, bounds: bs, k: k, includeReps: includeReps}
+		go func(sid int, req *shardRequest) {
+			rp, err := c.tr.scan(sid, req)
+			results <- scanResult{sid: sid, rp: rp, err: err}
+		}(sid, req)
 		contacted++
 		shardBytes[sid] = len(sb.qidx) * (queryBytes + k*resultBytes)
 		if sb.wins != nil {
@@ -784,21 +880,39 @@ func (c *Cluster) finish(queries *vec.Dataset, k int, batches []shardBatch, boun
 		met.Bytes += shardBytes[sid]
 	}
 	var slowest float64
+	var firstErr error
+	failed := 0
 	for r := 0; r < contacted; r++ {
-		rp := <-reply
+		res := <-results
+		if res.err != nil {
+			failed++
+			if firstErr == nil {
+				firstErr = res.err
+			}
+			continue
+		}
+		rp := res.rp
 		met.PointEvals += rp.evals
 		met.Evals += rp.evals
 		met.EmptyWindows += rp.emptyWins
-		sink(rp, batches[rp.sid].qidx)
+		sink(rp, batches[res.sid].qidx)
 		// Per-shard critical path: request latency + transfer + scan +
 		// response latency. The slowest contacted shard dominates.
-		transferUS := float64(shardBytes[rp.sid]) / (c.cost.BandwidthMBps * 1e6) * 1e6
+		transferUS := float64(shardBytes[res.sid]) / (c.cost.BandwidthMBps * 1e6) * 1e6
 		scanUS := float64(rp.evals) * c.cost.EvalNS / 1000
 		if t := 2*c.cost.LatencyUS + transferUS + scanUS; t > slowest {
 			slowest = t
 		}
 	}
 	met.SimTimeUS += slowest
+	if failed > 0 {
+		if c.tr.degrade() == DegradePartial {
+			met.FailedShards += failed
+			return nil
+		}
+		return firstErr
+	}
+	return nil
 }
 
 func (c *Cluster) checkDim(dim int) {
@@ -807,15 +921,71 @@ func (c *Cluster) checkDim(dim int) {
 	}
 }
 
-// Close shuts down the shard goroutines. The cluster is unusable after.
+// Distribute lifts the cluster onto real TCP shard processes: it
+// connects to one rbc-shard per in-process shard (addrs[i] serves shard
+// i), pushes each shard's state over the wire (MsgLoad) and, once every
+// shard has acknowledged, swaps the transport and frees the in-process
+// shard goroutines and their data. The gathered layouts cross the wire
+// bit-exactly, and the remote scan path is the same shard.scan code, so
+// answers after Distribute are bit-identical to before.
+//
+// On any load failure the cluster is left untouched on the loopback
+// transport and the error (a typed *ShardError) is returned. Distribute
+// is one-way: the in-process state is freed on success, so a second
+// call returns an error.
+func (c *Cluster) Distribute(addrs []string, opts TCPOptions) error {
+	c.lifeMu.Lock()
+	defer c.lifeMu.Unlock()
+	if c.closed {
+		return ErrClusterClosed
+	}
+	if c.shards == nil {
+		return fmt.Errorf("distributed: cluster already distributed")
+	}
+	if len(addrs) != len(c.shards) {
+		return fmt.Errorf("distributed: %d addrs for %d shards", len(addrs), len(c.shards))
+	}
+	spec, err := wire.SpecFor(c.m)
+	if err != nil {
+		return err
+	}
+	tt := newTCPTransport(c.dim, addrs, opts)
+	for sid, sh := range c.shards {
+		if err := tt.load(sid, wire.EncodeShardState(stateOf(sh, spec))); err != nil {
+			tt.close()
+			return err
+		}
+	}
+	c.tr.close()
+	c.tr = tt
+	c.shards = nil
+	return nil
+}
+
+// NetStats returns per-shard transport counters (request/retry/failure
+// counts, bytes moved, summed RTT). It returns nil while the cluster
+// runs on the in-process loopback transport.
+func (c *Cluster) NetStats() []ShardNetStats {
+	c.lifeMu.RLock()
+	defer c.lifeMu.RUnlock()
+	if c.closed {
+		return nil
+	}
+	return c.tr.netStats()
+}
+
+// Close shuts down the transport (loopback shard goroutines, or the TCP
+// connection pools). It waits for in-flight queries to drain first, and
+// every query entry point afterwards returns ErrClusterClosed. Close is
+// idempotent. Remote rbc-shard processes are NOT stopped — they belong
+// to their own lifecycle.
 func (c *Cluster) Close() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
+	c.lifeMu.Lock()
+	defer c.lifeMu.Unlock()
 	if c.closed {
 		return
 	}
 	c.closed = true
-	for _, s := range c.shards {
-		close(s.reqs)
-	}
+	c.tr.close()
+	c.shards = nil
 }

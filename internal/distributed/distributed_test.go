@@ -63,7 +63,7 @@ func TestRoutedQueryIsExact(t *testing.T) {
 		for j := range q {
 			q[j] = rng.Float32()*20 - 10
 		}
-		got, _ := cl.Query(q)
+		got, _, _ := cl.Query(q)
 		want := bruteforce.SearchOne(q, db, m, nil)
 		if got.Dist != want.Dist {
 			t.Fatalf("trial %d: got %v want %v", trial, got.Dist, want.Dist)
@@ -85,7 +85,7 @@ func TestBroadcastQueryIsExact(t *testing.T) {
 		for j := range q {
 			q[j] = rng.Float32()*20 - 10
 		}
-		got, met := cl.QueryBroadcast(q)
+		got, met, _ := cl.QueryBroadcast(q)
 		want := bruteforce.SearchOne(q, db, m, nil)
 		if got.Dist != want.Dist {
 			t.Fatalf("trial %d: got %v want %v", trial, got.Dist, want.Dist)
@@ -110,9 +110,9 @@ func TestRoutingContactsFewerShards(t *testing.T) {
 	const queries = 40
 	for trial := 0; trial < queries; trial++ {
 		q := db.Row(rng.Intn(db.N()))
-		_, mr := cl.Query(q)
+		_, mr, _ := cl.Query(q)
 		routed.Add(mr)
-		_, mb := cl.QueryBroadcast(q)
+		_, mb, _ := cl.QueryBroadcast(q)
 		broadcast.Add(mb)
 	}
 	if routed.ShardsContacted >= broadcast.ShardsContacted {
@@ -166,7 +166,7 @@ func TestQueryMetricsPopulated(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer cl.Close()
-	_, met := cl.Query(db.Row(0))
+	_, met, _ := cl.Query(db.Row(0))
 	if met.Evals == 0 || met.SimTimeUS <= 0 && met.ShardsContacted > 0 {
 		t.Fatalf("metrics: %+v", met)
 	}
@@ -196,7 +196,7 @@ func TestSingleShardDegeneratesToExact(t *testing.T) {
 	}
 	defer cl.Close()
 	q := db.Row(42)
-	got, met := cl.Query(q)
+	got, met, _ := cl.Query(q)
 	if got.Dist != 0 {
 		t.Fatalf("self-query: %+v", got)
 	}
@@ -218,10 +218,10 @@ func TestQueryBatchMatchesPerQuery(t *testing.T) {
 	}
 	defer cl.Close()
 	queries := clustered(rand.New(rand.NewSource(29)), 64, 5, 10)
-	batch, bm := cl.QueryBatch(queries)
+	batch, bm, _ := cl.QueryBatch(queries)
 	var perQuery QueryMetrics
 	for i := 0; i < queries.N(); i++ {
-		one, om := cl.Query(queries.Row(i))
+		one, om, _ := cl.Query(queries.Row(i))
 		if batch[i] != one {
 			t.Fatalf("query %d: batch %+v, per-query %+v", i, batch[i], one)
 		}
@@ -251,7 +251,7 @@ func TestKNNBatchIsExact(t *testing.T) {
 	defer cl.Close()
 	queries := clustered(rand.New(rand.NewSource(41)), 40, 4, 8)
 	for _, k := range []int{1, 3, 7} {
-		got, met := cl.KNNBatch(queries, k)
+		got, met, _ := cl.KNNBatch(queries, k)
 		if met.ShardsContacted > cl.NumShards() {
 			t.Fatalf("k=%d: %d shard requests", k, met.ShardsContacted)
 		}
@@ -284,7 +284,7 @@ func TestKNNBatchNoDuplicateIDs(t *testing.T) {
 	}
 	defer cl.Close()
 	queries := clustered(rand.New(rand.NewSource(53)), 30, 3, 4)
-	got, _ := cl.KNNBatch(queries, 6)
+	got, _, _ := cl.KNNBatch(queries, 6)
 	for i, nbs := range got {
 		seen := map[int]bool{}
 		for _, nb := range nbs {
@@ -314,7 +314,7 @@ func TestQuickDistributedExact(t *testing.T) {
 			for j := range q {
 				q[j] = rng.Float32()*20 - 10
 			}
-			got, _ := cl.Query(q)
+			got, _, _ := cl.Query(q)
 			if got.Dist != bruteforce.SearchOne(q, db, m, nil).Dist {
 				return false
 			}

@@ -42,8 +42,8 @@ func runConcurrentBatchCallers(t *testing.T, earlyExit bool) {
 	for b := range cases {
 		cases[b].queries = clustered(rand.New(rand.NewSource(int64(300+b))), 24, 6, 8)
 		cases[b].k = 1 + b*2
-		cases[b].knn, _ = cl.KNNBatch(cases[b].queries, cases[b].k)
-		cases[b].best, _ = cl.QueryBatch(cases[b].queries)
+		cases[b].knn, _, _ = cl.KNNBatch(cases[b].queries, cases[b].k)
+		cases[b].best, _, _ = cl.QueryBatch(cases[b].queries)
 	}
 
 	const workers = 8
@@ -57,7 +57,7 @@ func runConcurrentBatchCallers(t *testing.T, earlyExit bool) {
 				cse := cases[(w+r)%len(cases)]
 				switch (w + r) % 3 {
 				case 0:
-					got, _ := cl.KNNBatch(cse.queries, cse.k)
+					got, _, _ := cl.KNNBatch(cse.queries, cse.k)
 					for i := range cse.knn {
 						for p := range cse.knn[i] {
 							if got[i][p] != cse.knn[i][p] {
@@ -67,7 +67,7 @@ func runConcurrentBatchCallers(t *testing.T, earlyExit bool) {
 						}
 					}
 				case 1:
-					got, _ := cl.QueryBatch(cse.queries)
+					got, _, _ := cl.QueryBatch(cse.queries)
 					for i := range cse.best {
 						if got[i] != cse.best[i] {
 							t.Errorf("worker %d round %d: QueryBatch diverged at query %d", w, r, i)
@@ -76,7 +76,7 @@ func runConcurrentBatchCallers(t *testing.T, earlyExit bool) {
 					}
 				default:
 					i := (w * r) % cse.queries.N()
-					got, _ := cl.KNN(cse.queries.Row(i), cse.k)
+					got, _, _ := cl.KNN(cse.queries.Row(i), cse.k)
 					for p := range cse.knn[i] {
 						if got[p] != cse.knn[i][p] {
 							t.Errorf("worker %d round %d: KNN diverged at query %d pos %d", w, r, i, p)

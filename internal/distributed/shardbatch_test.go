@@ -29,9 +29,9 @@ func TestKNNBatchBitIdenticalToPerQueryKNN(t *testing.T) {
 	defer cl.Close()
 	queries := clustered(rand.New(rand.NewSource(71)), 50, 7, 9)
 	for _, k := range []int{1, 4, 11} {
-		batch, _ := cl.KNNBatch(queries, k)
+		batch, _, _ := cl.KNNBatch(queries, k)
 		for i := 0; i < queries.N(); i++ {
-			one, _ := cl.KNN(queries.Row(i), k)
+			one, _, _ := cl.KNN(queries.Row(i), k)
 			if len(batch[i]) != len(one) {
 				t.Fatalf("k=%d query %d: batch %d results, per-query %d", k, i, len(batch[i]), len(one))
 			}
@@ -69,7 +69,7 @@ func TestClusterMatchesExactBitForBit(t *testing.T) {
 		}
 		queries := clustered(rand.New(rand.NewSource(83)), 40, 6, 8)
 		for _, k := range []int{1, 5} {
-			got, _ := cl.KNNBatch(queries, k)
+			got, _, _ := cl.KNNBatch(queries, k)
 			want, _ := idx.KNNBatch(queries, k)
 			for i := range want {
 				if len(got[i]) != len(want[i]) {
@@ -115,7 +115,7 @@ func TestShardScansAvoidPerPairDistance(t *testing.T) {
 
 	calls.Store(0)
 	tilesBefore := metric.TileInvocations()
-	if _, met := cl.KNNBatch(queries, 3); met.PointEvals == 0 {
+	if _, met, _ := cl.KNNBatch(queries, 3); met.PointEvals == 0 {
 		t.Fatal("batch reported no shard-side work")
 	}
 	if got := calls.Load(); got != 0 {
@@ -125,7 +125,7 @@ func TestShardScansAvoidPerPairDistance(t *testing.T) {
 		t.Fatal("batched search performed no tiled kernel calls")
 	}
 	// Results must still match brute force under the counting wrapper.
-	got, _ := cl.KNN(queries.Row(0), 3)
+	got, _, _ := cl.KNN(queries.Row(0), 3)
 	want := bruteforce.SearchOneK(queries.Row(0), db, 3, m, nil)
 	for p := range want {
 		if got[p] != want[p] {
@@ -168,7 +168,7 @@ func TestKNNBatchKLargerThanShard(t *testing.T) {
 	defer cl.Close()
 	queries := clustered(rand.New(rand.NewSource(127)), 10, 5, 3)
 	for _, k := range []int{59, 60, 200} {
-		got, _ := cl.KNNBatch(queries, k)
+		got, _, _ := cl.KNNBatch(queries, k)
 		for i := 0; i < queries.N(); i++ {
 			want := bruteforce.SearchOneK(queries.Row(i), db, k, m, nil)
 			if len(got[i]) != len(want) {
@@ -211,7 +211,7 @@ func TestKNNBatchEmptySegments(t *testing.T) {
 		t.Fatal("test setup failed to produce an empty segment (no duplicate representatives sampled)")
 	}
 	queries := clustered(rand.New(rand.NewSource(139)), 20, 4, 4)
-	got, _ := cl.KNNBatch(queries, 4)
+	got, _, _ := cl.KNNBatch(queries, 4)
 	for i := 0; i < queries.N(); i++ {
 		want := bruteforce.SearchOneK(queries.Row(i), db, 4, m, nil)
 		for p := range want {
@@ -235,10 +235,10 @@ func TestAccountingParityBatchVsPerQuery(t *testing.T) {
 	defer cl.Close()
 	queries := clustered(rand.New(rand.NewSource(157)), 48, 6, 10)
 	for _, k := range []int{1, 6} {
-		_, bm := cl.KNNBatch(queries, k)
+		_, bm, _ := cl.KNNBatch(queries, k)
 		var pq QueryMetrics
 		for i := 0; i < queries.N(); i++ {
-			_, m := cl.KNN(queries.Row(i), k)
+			_, m, _ := cl.KNN(queries.Row(i), k)
 			pq.Add(m)
 		}
 		if bm.RepEvals != pq.RepEvals {
@@ -272,7 +272,7 @@ func TestSingleQueryBlockDegenerates(t *testing.T) {
 	}
 	defer cl.Close()
 	q := clustered(rand.New(rand.NewSource(173)), 1, 5, 5)
-	got, met := cl.KNNBatch(q, 5)
+	got, met, _ := cl.KNNBatch(q, 5)
 	want := bruteforce.SearchOneK(q.Row(0), db, 5, m, nil)
 	for p := range want {
 		if got[0][p] != want[p] {

@@ -1,0 +1,255 @@
+package distributed
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/distributed/wire"
+	"repro/internal/metric"
+)
+
+// ShardServer serves one shard's segments over the wire protocol — the
+// process behind cmd/rbc-shard. It starts empty and generic: the
+// coordinator pushes the shard's segments (MsgLoad) at
+// Cluster.Distribute, after which MsgScan requests run the exact same
+// shard.scan the in-process cluster runs, so answers over TCP are
+// bit-identical to loopback by construction.
+//
+// Connections are handled concurrently and each carries strict
+// request/reply framing. shard.scan is stateless (pooled scratch, no
+// shard mutation), so concurrent scans need no locking beyond the
+// shard-state swap at load time.
+type ShardServer struct {
+	maxFrame int
+
+	mu     sync.Mutex
+	sh     *shard
+	ln     net.Listener
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewShardServer returns an empty shard server awaiting a MsgLoad.
+func NewShardServer() *ShardServer {
+	return &ShardServer{maxFrame: wire.MaxFrameBytes, conns: make(map[net.Conn]struct{})}
+}
+
+// Serve accepts connections on ln until Close. It returns nil after
+// Close; any other accept failure is returned as-is.
+func (s *ShardServer) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return ErrClusterClosed
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// Close stops accepting, tears down open connections (in-flight requests
+// fail transport-side and are retried or surfaced by the coordinator's
+// policy) and waits for handlers to exit.
+func (s *ShardServer) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.wg.Wait()
+}
+
+// Loaded reports whether shard state has been pushed yet.
+func (s *ShardServer) Loaded() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sh != nil
+}
+
+func (s *ShardServer) dropConn(conn net.Conn) {
+	conn.Close()
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+func (s *ShardServer) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer s.dropConn(conn)
+	for {
+		mt, body, err := wire.ReadFrame(conn, s.maxFrame)
+		if err != nil {
+			// Includes clean remote close, torn frames and CRC failures:
+			// the stream is unsynchronized either way, so drop the
+			// connection and let the client retry on a fresh one.
+			return
+		}
+		var reply []byte
+		switch mt {
+		case wire.MsgPing:
+			reply = wire.EncodeEmpty(wire.MsgPong)
+		case wire.MsgLoad:
+			reply = s.handleLoad(body)
+		case wire.MsgScan:
+			reply = s.handleScan(body)
+		default:
+			reply = wire.EncodeErr(fmt.Sprintf("unsupported message type %d", mt))
+		}
+		if err := wire.WriteFrame(conn, reply); err != nil {
+			return
+		}
+	}
+}
+
+func (s *ShardServer) handleLoad(body []byte) []byte {
+	st, err := wire.DecodeShardState(body)
+	if err != nil {
+		return wire.EncodeErr("bad shard state: " + err.Error())
+	}
+	sh, err := shardFromState(st)
+	if err != nil {
+		return wire.EncodeErr("bad shard state: " + err.Error())
+	}
+	s.mu.Lock()
+	s.sh = sh
+	s.mu.Unlock()
+	return wire.EncodeEmpty(wire.MsgLoadOK)
+}
+
+func (s *ShardServer) handleScan(body []byte) []byte {
+	s.mu.Lock()
+	sh := s.sh
+	s.mu.Unlock()
+	if sh == nil {
+		return wire.EncodeErr("no shard state loaded")
+	}
+	req, err := wire.DecodeScanRequest(body)
+	if err != nil {
+		return wire.EncodeErr("bad scan request: " + err.Error())
+	}
+	if err := validateScan(sh, req); err != nil {
+		return wire.EncodeErr("bad scan request: " + err.Error())
+	}
+	rp := sh.scan(shardRequest{
+		qs:          req.Qs,
+		segs:        req.Segs,
+		wins:        req.Wins,
+		bounds:      req.Bounds,
+		k:           req.K,
+		includeReps: req.IncludeReps,
+	})
+	return wire.EncodeScanReply(&wire.ScanReply{
+		Shard:     rp.sid,
+		Evals:     rp.evals,
+		EmptyWins: rp.emptyWins,
+		KNN:       rp.knn,
+	})
+}
+
+// validateScan rejects structurally inconsistent requests before they
+// reach shard.scan, which (as an internal hot path) indexes without
+// bounds checks of its own. The wire decoder already guarantees the
+// cross-field length invariants (Qs vs Segs, Wins vs total entries).
+func validateScan(sh *shard, req *wire.ScanRequest) error {
+	if req.Dim != sh.dim {
+		return fmt.Errorf("query dim %d, shard dim %d", req.Dim, sh.dim)
+	}
+	if req.K <= 0 {
+		return fmt.Errorf("k %d", req.K)
+	}
+	if len(req.Qs) != len(req.Segs)*sh.dim {
+		return fmt.Errorf("%d query floats for %d queries of dim %d", len(req.Qs), len(req.Segs), sh.dim)
+	}
+	if req.Bounds != nil && len(req.Bounds) != len(req.Segs) {
+		return fmt.Errorf("%d bounds for %d queries", len(req.Bounds), len(req.Segs))
+	}
+	nseg := len(sh.offsets) - 1
+	total := 0
+	for _, segs := range req.Segs {
+		total += len(segs)
+		for _, seg := range segs {
+			if seg < 0 || seg >= nseg {
+				return fmt.Errorf("segment %d out of range (shard holds %d)", seg, nseg)
+			}
+		}
+	}
+	if req.Wins != nil {
+		if len(req.Wins) != 2*total {
+			return fmt.Errorf("%d window floats for %d (query, segment) pairs", len(req.Wins), total)
+		}
+		if sh.segDists == nil {
+			return fmt.Errorf("windowed scan against a shard loaded without segment distances")
+		}
+	}
+	return nil
+}
+
+// shardFromState reconstructs a servable shard from its wire state. The
+// gathered layout crosses the wire verbatim (float32/float64 bit
+// patterns preserved), so the rebuilt shard scans byte-identical data
+// with the same exact-grade kernel the coordinator built.
+func shardFromState(st *wire.ShardState) (*shard, error) {
+	m, err := st.Metric.Metric()
+	if err != nil {
+		return nil, err
+	}
+	return &shard{
+		id:       st.ID,
+		dim:      st.Dim,
+		ker:      metric.NewKernel(m),
+		repIDs:   st.RepIDs,
+		offsets:  st.Offsets,
+		ids:      st.IDs,
+		isRep:    st.IsRep,
+		gather:   st.Gather,
+		segDists: st.SegDists,
+	}, nil
+}
+
+// stateOf snapshots a shard into its wire form (the MsgLoad payload).
+func stateOf(sh *shard, spec wire.MetricSpec) *wire.ShardState {
+	return &wire.ShardState{
+		ID:       sh.id,
+		Dim:      sh.dim,
+		Metric:   spec,
+		RepIDs:   sh.repIDs,
+		Offsets:  sh.offsets,
+		IDs:      sh.ids,
+		IsRep:    sh.isRep,
+		Gather:   sh.gather,
+		SegDists: sh.segDists,
+	}
+}

@@ -1,0 +1,346 @@
+package distributed
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/distributed/wire"
+)
+
+// ErrClusterClosed is returned by every query entry point after Close.
+var ErrClusterClosed = errors.New("distributed: cluster is closed")
+
+// DegradePolicy decides what a networked cluster does when a shard stays
+// unreachable after the retry budget.
+type DegradePolicy int
+
+const (
+	// DegradeFailFast (the default) fails the whole batch with a typed
+	// *ShardError as soon as any contacted shard cannot answer.
+	DegradeFailFast DegradePolicy = iota
+	// DegradePartial merges the answers of the shards that did reply and
+	// accounts the missing ones in QueryMetrics.FailedShards. Results may
+	// silently miss neighbors held by the dead shard (every representative
+	// is still seeded coordinator-side, so queries keep their rep-derived
+	// candidates); callers opt in to that trade.
+	DegradePartial
+)
+
+// ShardError reports a shard that could not serve a request after the
+// transport's retry budget. It wraps the final attempt's error.
+type ShardError struct {
+	Shard int
+	Addr  string
+	Err   error
+}
+
+func (e *ShardError) Error() string {
+	return fmt.Sprintf("distributed: shard %d (%s): %v", e.Shard, e.Addr, e.Err)
+}
+
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// ShardNetStats accumulates one shard connection's transport counters
+// (TCP transport only; the loopback transport reports none).
+type ShardNetStats struct {
+	Addr      string
+	Requests  int64         // exchanges attempted (first attempts, not retries)
+	Retries   int64         // extra attempts after a transient failure
+	Failures  int64         // exchanges abandoned after the retry budget
+	BytesSent int64         // frame bytes written on successful exchanges
+	BytesRecv int64         // frame bytes read on successful exchanges
+	RTT       time.Duration // summed request→reply time of successful exchanges
+}
+
+// transport carries one batched scan to one shard and returns its reply.
+// Implementations: loopback (the in-process channel shards Build starts —
+// the default, and the correctness oracle for the wire path) and
+// tcpTransport (real sockets to rbc-shard processes).
+type transport interface {
+	scan(sid int, req *shardRequest) (shardReply, error)
+	degrade() DegradePolicy
+	netStats() []ShardNetStats
+	close()
+}
+
+// loopback sends requests over the in-process shard channels exactly as
+// the pre-transport cluster did: one shardRequest per shard per block,
+// answered by the shard's serve goroutine.
+type loopback struct {
+	shards []*shard
+}
+
+func (l *loopback) scan(sid int, req *shardRequest) (shardReply, error) {
+	r := *req
+	r.reply = make(chan shardReply, 1)
+	l.shards[sid].reqs <- r
+	return <-r.reply, nil
+}
+
+func (l *loopback) degrade() DegradePolicy { return DegradeFailFast }
+
+func (l *loopback) netStats() []ShardNetStats { return nil }
+
+func (l *loopback) close() {
+	for _, s := range l.shards {
+		close(s.reqs)
+	}
+}
+
+// TCPOptions configures the networked transport installed by
+// Cluster.Distribute. The zero value means "all defaults".
+type TCPOptions struct {
+	// DialTimeout bounds each connection attempt (default 2s).
+	DialTimeout time.Duration
+	// RequestTimeout bounds each request/reply exchange, connection
+	// deadline included (default 30s). A shard that accepts but never
+	// replies surfaces as a timeout error after this long, per attempt.
+	RequestTimeout time.Duration
+	// MaxAttempts is the total attempts per request, first try included
+	// (default 3). Only transient failures — connect errors, IO errors,
+	// torn or corrupt frames — are retried; a shard that answers with a
+	// MsgErr made a decision, which retrying cannot change.
+	MaxAttempts int
+	// RetryBackoff is the sleep before the first retry, doubled each
+	// further attempt (default 50ms).
+	RetryBackoff time.Duration
+	// PoolSize is the number of idle connections kept per shard
+	// (default 2). Fan-out opens extra connections freely; the pool only
+	// bounds what is kept warm.
+	PoolSize int
+	// MaxFrameBytes bounds accepted reply frames (default
+	// wire.MaxFrameBytes).
+	MaxFrameBytes int
+	// Degrade picks the policy for shards that stay unreachable after
+	// the retry budget (default DegradeFailFast).
+	Degrade DegradePolicy
+}
+
+func (o TCPOptions) withDefaults() TCPOptions {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 2 * time.Second
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 50 * time.Millisecond
+	}
+	if o.PoolSize <= 0 {
+		o.PoolSize = 2
+	}
+	if o.MaxFrameBytes <= 0 {
+		o.MaxFrameBytes = wire.MaxFrameBytes
+	}
+	return o
+}
+
+// tcpTransport talks the wire protocol to one rbc-shard process per
+// shard, with per-shard connection pooling, per-attempt deadlines and
+// bounded retry with exponential backoff.
+type tcpTransport struct {
+	dim    int
+	opts   TCPOptions
+	shards []*tcpShard
+}
+
+type tcpShard struct {
+	sid  int
+	addr string
+	pool chan net.Conn
+
+	mu    sync.Mutex
+	stats ShardNetStats
+}
+
+func newTCPTransport(dim int, addrs []string, opts TCPOptions) *tcpTransport {
+	t := &tcpTransport{dim: dim, opts: opts.withDefaults()}
+	for sid, addr := range addrs {
+		t.shards = append(t.shards, &tcpShard{
+			sid:  sid,
+			addr: addr,
+			pool: make(chan net.Conn, t.opts.PoolSize),
+		})
+	}
+	return t
+}
+
+func (t *tcpTransport) scan(sid int, req *shardRequest) (shardReply, error) {
+	frame := wire.EncodeScanRequest(&wire.ScanRequest{
+		Dim:         t.dim,
+		K:           req.k,
+		IncludeReps: req.includeReps,
+		Qs:          req.qs,
+		Segs:        req.segs,
+		Bounds:      req.bounds,
+		Wins:        req.wins,
+	})
+	mt, body, err := t.request(sid, frame)
+	if err != nil {
+		return shardReply{}, err
+	}
+	if mt != wire.MsgScanReply {
+		return shardReply{}, &ShardError{Shard: sid, Addr: t.shards[sid].addr,
+			Err: fmt.Errorf("unexpected reply message type %d", mt)}
+	}
+	rep, err := wire.DecodeScanReply(body)
+	if err != nil {
+		return shardReply{}, &ShardError{Shard: sid, Addr: t.shards[sid].addr, Err: err}
+	}
+	// The shard echoes the id it was loaded with; trusting the local sid
+	// for result routing keeps a mislabeled reply from corrupting merges.
+	if rep.Shard != sid {
+		return shardReply{}, &ShardError{Shard: sid, Addr: t.shards[sid].addr,
+			Err: fmt.Errorf("reply from shard %d, want %d", rep.Shard, sid)}
+	}
+	return shardReply{sid: sid, knn: rep.KNN, evals: rep.Evals, emptyWins: rep.EmptyWins}, nil
+}
+
+// load pushes one shard's state and waits for the ack.
+func (t *tcpTransport) load(sid int, frame []byte) error {
+	mt, _, err := t.request(sid, frame)
+	if err != nil {
+		return err
+	}
+	if mt != wire.MsgLoadOK {
+		return &ShardError{Shard: sid, Addr: t.shards[sid].addr,
+			Err: fmt.Errorf("unexpected load reply message type %d", mt)}
+	}
+	return nil
+}
+
+// ping round-trips a liveness probe.
+func (t *tcpTransport) ping(sid int) error {
+	mt, _, err := t.request(sid, wire.EncodeEmpty(wire.MsgPing))
+	if err != nil {
+		return err
+	}
+	if mt != wire.MsgPong {
+		return &ShardError{Shard: sid, Addr: t.shards[sid].addr,
+			Err: fmt.Errorf("unexpected ping reply message type %d", mt)}
+	}
+	return nil
+}
+
+// request runs one framed exchange with the retry policy: transient
+// failures (connect errors, IO errors, torn/corrupt frames) are retried
+// up to MaxAttempts with doubling backoff; a decoded MsgErr is a remote
+// decision and fails immediately. Every failure path returns a typed
+// *ShardError naming the shard and address.
+func (t *tcpTransport) request(sid int, frame []byte) (byte, []byte, error) {
+	s := t.shards[sid]
+	s.mu.Lock()
+	s.stats.Requests++
+	s.mu.Unlock()
+	var lastErr error
+	backoff := t.opts.RetryBackoff
+	for attempt := 0; attempt < t.opts.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			s.mu.Lock()
+			s.stats.Retries++
+			s.mu.Unlock()
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		mt, body, err := s.exchange(frame, t.opts)
+		if err == nil {
+			if mt == wire.MsgErr {
+				rerr := wire.DecodeErr(body)
+				s.mu.Lock()
+				s.stats.Failures++
+				s.mu.Unlock()
+				return 0, nil, &ShardError{Shard: sid, Addr: s.addr, Err: rerr}
+			}
+			return mt, body, nil
+		}
+		lastErr = err
+	}
+	s.mu.Lock()
+	s.stats.Failures++
+	s.mu.Unlock()
+	return 0, nil, &ShardError{Shard: sid, Addr: s.addr, Err: lastErr}
+}
+
+// exchange performs one request/reply round trip on a pooled or fresh
+// connection under the per-attempt deadline. Any error poisons the
+// connection (it is closed, not returned to the pool): the protocol is
+// strict request/reply, so a torn exchange leaves the stream
+// unsynchronized.
+func (s *tcpShard) exchange(frame []byte, opts TCPOptions) (byte, []byte, error) {
+	conn, err := s.get(opts)
+	if err != nil {
+		return 0, nil, err
+	}
+	start := time.Now()
+	if err := conn.SetDeadline(start.Add(opts.RequestTimeout)); err != nil {
+		conn.Close()
+		return 0, nil, err
+	}
+	if err := wire.WriteFrame(conn, frame); err != nil {
+		conn.Close()
+		return 0, nil, err
+	}
+	mt, body, err := wire.ReadFrame(conn, opts.MaxFrameBytes)
+	if err != nil {
+		conn.Close()
+		return 0, nil, err
+	}
+	s.put(conn)
+	s.mu.Lock()
+	s.stats.BytesSent += int64(len(frame))
+	s.stats.BytesRecv += int64(8 + 2 + len(body)) // header + version/type + body
+	s.stats.RTT += time.Since(start)
+	s.mu.Unlock()
+	return mt, body, nil
+}
+
+func (s *tcpShard) get(opts TCPOptions) (net.Conn, error) {
+	select {
+	case conn := <-s.pool:
+		return conn, nil
+	default:
+	}
+	return net.DialTimeout("tcp", s.addr, opts.DialTimeout)
+}
+
+func (s *tcpShard) put(conn net.Conn) {
+	conn.SetDeadline(time.Time{})
+	select {
+	case s.pool <- conn:
+	default:
+		conn.Close()
+	}
+}
+
+func (t *tcpTransport) degrade() DegradePolicy { return t.opts.Degrade }
+
+func (t *tcpTransport) netStats() []ShardNetStats {
+	out := make([]ShardNetStats, len(t.shards))
+	for i, s := range t.shards {
+		s.mu.Lock()
+		out[i] = s.stats
+		out[i].Addr = s.addr
+		s.mu.Unlock()
+	}
+	return out
+}
+
+func (t *tcpTransport) close() {
+	for _, s := range t.shards {
+		for {
+			select {
+			case conn := <-s.pool:
+				conn.Close()
+				continue
+			default:
+			}
+			break
+		}
+	}
+}

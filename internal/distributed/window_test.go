@@ -76,8 +76,8 @@ func TestWindowedBitIdenticalToFullScanAndExact(t *testing.T) {
 	for _, shards := range []int{1, 5} {
 		full, win := buildPair(t, db, prm, shards)
 		for _, k := range []int{1, 4, 11} {
-			gotFull, _ := full.KNNBatch(queries, k)
-			gotWin, _ := win.KNNBatch(queries, k)
+			gotFull, _, _ := full.KNNBatch(queries, k)
+			gotWin, _, _ := win.KNNBatch(queries, k)
 			wantExact, _ := exact.KNNBatch(queries, k)
 			wantEE, _ := exactEE.KNNBatch(queries, k)
 			for i := 0; i < queries.N(); i++ {
@@ -140,8 +140,8 @@ func TestWindowedEvalMonotonicity(t *testing.T) {
 		} else {
 			queries = clustered(rand.New(rand.NewSource(c.seed*37)), 24, c.dim, 8)
 		}
-		gotFull, mFull := full.KNNBatch(queries, c.k)
-		gotWin, mWin := win.KNNBatch(queries, c.k)
+		gotFull, mFull, _ := full.KNNBatch(queries, c.k)
+		gotWin, mWin, _ := win.KNNBatch(queries, c.k)
 		if mWin.PointEvals > mFull.PointEvals {
 			t.Errorf("corpus %+v: windowed PointEvals %d > full-scan %d", c, mWin.PointEvals, mFull.PointEvals)
 		}
@@ -179,10 +179,10 @@ func TestWindowedAccountingParityBatchVsPerQuery(t *testing.T) {
 	defer cl.Close()
 	queries := clustered(rand.New(rand.NewSource(439)), 48, 6, 10)
 	for _, k := range []int{1, 6} {
-		batch, bm := cl.KNNBatch(queries, k)
+		batch, bm, _ := cl.KNNBatch(queries, k)
 		var pq QueryMetrics
 		for i := 0; i < queries.N(); i++ {
-			one, m := cl.KNN(queries.Row(i), k)
+			one, m, _ := cl.KNN(queries.Row(i), k)
 			pq.Add(m)
 			for p := range one {
 				if batch[i][p] != one[p] {
@@ -226,13 +226,13 @@ func TestWindowedScansAvoidPerPairDistance(t *testing.T) {
 	defer cl.Close()
 	queries := clustered(rand.New(rand.NewSource(457)), 32, 8, 6)
 	calls.Store(0)
-	if _, met := cl.KNNBatch(queries, 3); met.PointEvals == 0 || met.Windows == 0 {
+	if _, met, _ := cl.KNNBatch(queries, 3); met.PointEvals == 0 || met.Windows == 0 {
 		t.Fatal("windowed batch reported no shard-side work or no windows")
 	}
 	if got := calls.Load(); got != 0 {
 		t.Fatalf("windowed query path made %d per-pair m.Distance calls, want 0", got)
 	}
-	got, _ := cl.KNN(queries.Row(0), 3)
+	got, _, _ := cl.KNN(queries.Row(0), 3)
 	want := bruteforce.SearchOneK(queries.Row(0), db, 3, m, nil)
 	for p := range want {
 		if got[p] != want[p] {
@@ -300,8 +300,8 @@ func TestEmptyWindowSkipsSegment(t *testing.T) {
 		// d−γ ≈ 1.5), and its window [≈1.5, ≈3.5] holds no member — its
 		// own distance-0 entry and its ≈4-distance members both miss it.
 		q := []float32{1}
-		gotFull, mFull := full.KNN(q, 1)
-		gotWin, mWin := win.KNN(q, 1)
+		gotFull, mFull, _ := full.KNN(q, 1)
+		gotWin, mWin, _ := win.KNN(q, 1)
 		if mWin.EmptyWindows == 0 {
 			t.Fatalf("seed %d: expected an empty window, metrics %+v", seed, mWin)
 		}
@@ -335,8 +335,8 @@ func TestWindowsCoverWholeSegmentWhenHeapNotFull(t *testing.T) {
 	defer win.Close()
 	queries := clustered(rand.New(rand.NewSource(467)), 10, 5, 3)
 	for _, k := range []int{59, 60, 200} { // ≥ any segment size and ≥ nr
-		gotFull, mFull := full.KNNBatch(queries, k)
-		gotWin, mWin := win.KNNBatch(queries, k)
+		gotFull, mFull, _ := full.KNNBatch(queries, k)
+		gotWin, mWin, _ := win.KNNBatch(queries, k)
 		if mWin.PointEvals != mFull.PointEvals {
 			t.Fatalf("k=%d: infinite windows must scan everything: windowed %d, full %d",
 				k, mWin.PointEvals, mFull.PointEvals)
@@ -388,7 +388,7 @@ func TestWindowedEmptySegmentsFromDuplicateReps(t *testing.T) {
 		t.Fatal("test setup failed to produce an empty segment (no duplicate representatives sampled)")
 	}
 	queries := clustered(rand.New(rand.NewSource(479)), 20, 4, 4)
-	got, met := cl.KNNBatch(queries, 4)
+	got, met, _ := cl.KNNBatch(queries, 4)
 	for i := 0; i < queries.N(); i++ {
 		want := bruteforce.SearchOneK(queries.Row(i), db, 4, m, nil)
 		for p := range want {
@@ -419,9 +419,9 @@ func TestWindowedSingleQueryDegeneration(t *testing.T) {
 	}
 	defer cl.Close()
 	queries := clustered(rand.New(rand.NewSource(499)), 8, 5, 5)
-	batch, _ := cl.KNNBatch(queries, 5)
+	batch, _, _ := cl.KNNBatch(queries, 5)
 	for i := 0; i < queries.N(); i++ {
-		one, met := cl.KNN(queries.Row(i), 5)
+		one, met, _ := cl.KNN(queries.Row(i), 5)
 		if met.ShardsContacted > 1 {
 			t.Fatalf("query %d: single shard contacted %d times", i, met.ShardsContacted)
 		}
@@ -486,8 +486,8 @@ func TestWindowedEvalRatioSmoke(t *testing.T) {
 	defer full.Close()
 	defer win.Close()
 	queries := clustered(rand.New(rand.NewSource(541)), 64, 16, 12)
-	gotFull, mFull := full.KNNBatch(queries, 10)
-	gotWin, mWin := win.KNNBatch(queries, 10)
+	gotFull, mFull, _ := full.KNNBatch(queries, 10)
+	gotWin, mWin, _ := win.KNNBatch(queries, 10)
 	for i := range gotFull {
 		for p := range gotFull[i] {
 			if gotWin[i][p] != gotFull[i][p] {

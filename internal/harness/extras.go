@@ -143,8 +143,8 @@ func RunDistributed(cfg Config) (*Output, error) {
 		}
 		var routed, broadcast distributed.QueryMetrics
 		for i := 0; i < queries.N(); i++ {
-			r, mr := cl.Query(queries.Row(i))
-			b, mb := cl.QueryBroadcast(queries.Row(i))
+			r, mr, _ := cl.Query(queries.Row(i))
+			b, mb, _ := cl.QueryBroadcast(queries.Row(i))
 			if r.Dist != b.Dist {
 				cl.Close()
 				return nil, fmt.Errorf("distributed: routed answer diverged at query %d", i)
@@ -193,13 +193,13 @@ func RunDistBatch(cfg Config) (*Output, error) {
 		var perQuery distributed.QueryMetrics
 		perSec := timeIt(func() {
 			for i := 0; i < queries.N(); i++ {
-				_, m := cl.KNN(queries.Row(i), k)
+				_, m, _ := cl.KNN(queries.Row(i), k)
 				perQuery.Add(m)
 			}
 		})
 		var batch distributed.QueryMetrics
 		batchSec := timeIt(func() {
-			_, batch = cl.KNNBatch(queries, k)
+			_, batch, _ = cl.KNNBatch(queries, k)
 		})
 		t.AddRow(k, "per-query", q/perSec,
 			float64(perQuery.Messages)/q, float64(perQuery.Evals)/q, perQuery.SimTimeUS/q/1000)
@@ -242,8 +242,8 @@ func RunDistWindow(cfg Config) (*Output, error) {
 		"k", "mode", "point evals/query", "evals ratio", "window KB/query", "empty windows/query")
 	q := float64(queries.N())
 	for _, k := range []int{1, 10} {
-		fres, fm := full.KNNBatch(queries, k)
-		wres, wm := win.KNNBatch(queries, k)
+		fres, fm, _ := full.KNNBatch(queries, k)
+		wres, wm, _ := win.KNNBatch(queries, k)
 		for i := range fres {
 			for p := range fres[i] {
 				if fres[i][p] != wres[i][p] {

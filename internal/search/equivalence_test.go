@@ -222,7 +222,7 @@ func checkEquivalence(t *testing.T, seed int64, dimSel, nSel, kSel uint8) {
 			t.Fatalf("distributed.Build: %v", err)
 		}
 		defer cl.Close()
-		got, mFull := cl.KNNBatch(queries, k)
+		got, mFull, _ := cl.KNNBatch(queries, k)
 		wantIdx, _ := exactIdx.KNNBatch(queries, k)
 		for i := 0; i < nq; i++ {
 			assertBitEqual(t, fmt.Sprintf("cluster(shards=%d) query %d vs core.Exact", shards, i), got[i], wantIdx[i])
@@ -233,12 +233,12 @@ func checkEquivalence(t *testing.T, seed int64, dimSel, nSel, kSel uint8) {
 			t.Fatalf("distributed.Build(EarlyExit): %v", err)
 		}
 		defer clWin.Close()
-		gotWin, mWin := clWin.KNNBatch(queries, k)
+		gotWin, mWin, _ := clWin.KNNBatch(queries, k)
 		wantEE, _ := exactEE.KNNBatch(queries, k)
 		for i := 0; i < nq; i++ {
 			assertBitEqual(t, fmt.Sprintf("windowed cluster(shards=%d) query %d vs full-scan cluster", shards, i), gotWin[i], got[i])
 			assertBitEqual(t, fmt.Sprintf("windowed cluster(shards=%d) query %d vs core.Exact(EarlyExit)", shards, i), gotWin[i], wantEE[i])
-			one, _ := clWin.KNN(queries.Row(i), k)
+			one, _, _ := clWin.KNN(queries.Row(i), k)
 			assertBitEqual(t, fmt.Sprintf("windowed cluster(shards=%d) query %d batch vs per-query", shards, i), gotWin[i], one)
 		}
 		if mWin.PointEvals > mFull.PointEvals {

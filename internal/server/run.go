@@ -1,0 +1,48 @@
+package server
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"os"
+	"time"
+)
+
+// GracefulServe runs h over HTTP on ln until a value arrives on stop
+// (typically a signal.Notify channel for SIGINT/SIGTERM), then shuts
+// down in the only order that cannot lose acknowledged work:
+//
+//  1. http.Server.Shutdown — stop accepting, let every in-flight
+//     handler run to completion (bounded by drainTimeout);
+//  2. closer — the Server's own teardown (flush parked coalesced
+//     queries, stop the snapshot loop, close the WAL).
+//
+// The pre-fix shutdown path called Server.Close and os.Exit around a
+// bare http.ListenAndServe: in-flight responses were cut mid-body, and
+// a racing /insert could be acked while the WAL was being closed under
+// it. Draining handlers first makes "acked" mean "durable" across a
+// SIGTERM.
+//
+// GracefulServe returns nil after a clean drain; the Shutdown context
+// error (e.g. context.DeadlineExceeded) if the drain timed out; or the
+// Serve error if the listener failed before any stop arrived. closer
+// runs exactly once on every path.
+func GracefulServe(ln net.Listener, h http.Handler, closer func(), stop <-chan os.Signal, drainTimeout time.Duration) error {
+	hs := &http.Server{Handler: h}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		// Listener failure (or external hs manipulation): nothing is
+		// accepting, so closing immediately cannot cut a response.
+		closer()
+		return err
+	case <-stop:
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	err := hs.Shutdown(ctx) // stops accepting, waits for handlers
+	<-serveErr              // Serve has returned http.ErrServerClosed
+	closer()                // no traffic left: safe to close coalescers + WAL
+	return err
+}

@@ -1,0 +1,169 @@
+package server
+
+// Regression tests for the graceful-shutdown bugfix (PR 9): the old
+// rbc-server SIGTERM path called Server.Close + os.Exit around a bare
+// http.ListenAndServe, cutting in-flight responses mid-body. The fixed
+// path (GracefulServe) drains handlers through http.Server.Shutdown
+// before touching the Server's coalescers and WAL.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// slowThenServe delays every request, then delegates to the real
+// server — a deterministic stand-in for a query that is mid-handler
+// when the signal lands.
+type slowThenServe struct {
+	inner   http.Handler
+	delay   time.Duration
+	entered chan struct{} // closed once the first request is in-flight
+	once    atomic.Bool
+	done    atomic.Int64 // handlers completed
+}
+
+func (h *slowThenServe) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h.once.CompareAndSwap(false, true) {
+		close(h.entered)
+	}
+	time.Sleep(h.delay)
+	h.inner.ServeHTTP(w, r)
+	h.done.Add(1)
+}
+
+// TestGracefulServeDrainsInFlightAcrossSIGTERM: a slow query is
+// in-flight when a real SIGTERM arrives; the fix requires it to
+// complete with a full 200 body, the server to close only after the
+// drain, and GracefulServe to return nil.
+func TestGracefulServeDrainsInFlightAcrossSIGTERM(t *testing.T) {
+	srv, _ := newExactServer(t, 200)
+	slow := &slowThenServe{inner: srv, delay: 250 * time.Millisecond, entered: make(chan struct{})}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+
+	var closedAt atomic.Int64
+	serveDone := make(chan error, 1)
+	go func() {
+		serveDone <- GracefulServe(ln, slow, func() {
+			closedAt.Store(time.Now().UnixNano())
+			srv.Close()
+		}, sigc, 10*time.Second)
+	}()
+
+	reqDone := make(chan error, 1)
+	var status int
+	var body []byte
+	go func() {
+		resp, err := http.Post("http://"+ln.Addr().String()+"/query", "application/json",
+			strings.NewReader(`{"point":[0.5,0.5,0.5],"k":3}`))
+		if err != nil {
+			reqDone <- err
+			return
+		}
+		defer resp.Body.Close()
+		status = resp.StatusCode
+		body, err = io.ReadAll(resp.Body)
+		reqDone <- err
+	}()
+
+	<-slow.entered // the request is mid-handler now
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := <-reqDone; err != nil {
+		t.Fatalf("in-flight request cut across SIGTERM: %v", err)
+	}
+	if status != http.StatusOK {
+		t.Fatalf("in-flight request got %d across SIGTERM", status)
+	}
+	var parsed struct {
+		Neighbors []struct {
+			ID int `json:"id"`
+		} `json:"neighbors"`
+	}
+	if err := json.Unmarshal(body, &parsed); err != nil || len(parsed.Neighbors) != 3 {
+		t.Fatalf("truncated or bad body across SIGTERM: %q (%v)", body, err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("GracefulServe: %v", err)
+	}
+	if slow.done.Load() != 1 {
+		t.Fatalf("%d handlers completed, want 1", slow.done.Load())
+	}
+	if closedAt.Load() == 0 {
+		t.Fatal("closer never ran")
+	}
+
+	// New connections are refused after shutdown.
+	if _, err := http.Get("http://" + ln.Addr().String() + "/healthz"); err == nil {
+		t.Fatal("listener still accepting after graceful shutdown")
+	}
+}
+
+// TestGracefulServeDrainTimeout: a handler slower than the drain budget
+// surfaces the Shutdown context error instead of hanging forever.
+func TestGracefulServeDrainTimeout(t *testing.T) {
+	block := make(chan struct{})
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { <-block })
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan os.Signal, 1)
+	serveDone := make(chan error, 1)
+	closed := make(chan struct{})
+	go func() {
+		serveDone <- GracefulServe(ln, h, func() { close(closed) }, stop, 100*time.Millisecond)
+	}()
+	go http.Get("http://" + ln.Addr().String() + "/hang")
+	time.Sleep(50 * time.Millisecond) // let the request reach the handler
+	stop <- syscall.SIGTERM
+	select {
+	case err := <-serveDone:
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("err=%v, want deadline exceeded", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("GracefulServe hung past its drain timeout")
+	}
+	<-closed
+	close(block)
+}
+
+// TestGracefulServeListenerFailure: if the listener dies before any
+// signal, the Serve error comes back and the closer still runs.
+func TestGracefulServeListenerFailure(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan os.Signal, 1)
+	closed := make(chan struct{})
+	serveDone := make(chan error, 1)
+	go func() {
+		serveDone <- GracefulServe(ln, http.NotFoundHandler(), func() { close(closed) }, stop, time.Second)
+	}()
+	ln.Close()
+	if err := <-serveDone; err == nil {
+		t.Fatal("listener failure returned nil")
+	}
+	<-closed
+}
