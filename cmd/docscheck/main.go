@@ -1,0 +1,120 @@
+// Command docscheck keeps the markdown documentation honest. For each
+// file named on the command line it verifies that
+//
+//   - every fenced ```go code block is gofmt-clean: it must parse (as a
+//     whole file or as a declaration/statement list, the same contract
+//     as go/format.Source) and already be in canonical gofmt form, and
+//   - every relative markdown link [text](path) resolves to a file or
+//     directory that actually exists, relative to the markdown file's
+//     own directory (external schemes and pure #anchors are skipped).
+//
+// It prints one line per violation and exits nonzero if there are any,
+// so CI can run `docscheck README.md ARCHITECTURE.md docs/OPERATIONS.md`
+// and fail the build when an example rots or a link dangles.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"go/format"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+var linkRe = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: docscheck file.md ...")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, path := range os.Args[1:] {
+		for _, problem := range checkFile(path) {
+			fmt.Println(problem)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "docscheck: %d problem(s)\n", bad)
+		os.Exit(1)
+	}
+}
+
+func checkFile(path string) []string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return []string{fmt.Sprintf("%s: %v", path, err)}
+	}
+	var problems []string
+	lines := strings.Split(string(data), "\n")
+	inFence := false
+	fenceLang := ""
+	fenceStart := 0
+	var fenceBody []string
+	for i, line := range lines {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "```") {
+			if !inFence {
+				inFence = true
+				fenceLang = strings.TrimPrefix(trimmed, "```")
+				fenceStart = i + 1
+				fenceBody = fenceBody[:0]
+			} else {
+				if fenceLang == "go" {
+					problems = append(problems, checkGoBlock(path, fenceStart, fenceBody)...)
+				}
+				inFence = false
+			}
+			continue
+		}
+		if inFence {
+			fenceBody = append(fenceBody, line)
+			continue
+		}
+		problems = append(problems, checkLinks(path, i+1, line)...)
+	}
+	if inFence {
+		problems = append(problems, fmt.Sprintf("%s:%d: unclosed code fence", path, fenceStart))
+	}
+	return problems
+}
+
+// checkGoBlock requires the block to be gofmt-canonical already —
+// format.Source accepts whole files and declaration/statement lists, so
+// doc snippets don't need package clauses, but they do need tabs and
+// canonical spacing.
+func checkGoBlock(path string, startLine int, body []string) []string {
+	src := []byte(strings.Join(body, "\n") + "\n")
+	formatted, err := format.Source(src)
+	if err != nil {
+		return []string{fmt.Sprintf("%s:%d: go block does not parse: %v", path, startLine, err)}
+	}
+	if !bytes.Equal(formatted, src) {
+		return []string{fmt.Sprintf("%s:%d: go block is not gofmt-clean (indent with tabs, canonical spacing)", path, startLine)}
+	}
+	return nil
+}
+
+func checkLinks(path string, lineNo int, line string) []string {
+	var problems []string
+	for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+		target := m[1]
+		if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+			continue
+		}
+		if i := strings.IndexByte(target, '#'); i >= 0 {
+			target = target[:i]
+		}
+		if target == "" { // pure in-page anchor
+			continue
+		}
+		resolved := filepath.Join(filepath.Dir(path), target)
+		if _, err := os.Stat(resolved); err != nil {
+			problems = append(problems, fmt.Sprintf("%s:%d: dangling link %q (%s does not exist)", path, lineNo, m[1], resolved))
+		}
+	}
+	return problems
+}

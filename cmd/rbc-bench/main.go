@@ -10,6 +10,9 @@
 //	rbc-bench -exp paper                    # table1 fig1 fig2 table2 table3 fig3
 //	rbc-bench -exp all -scale 0.02 -out results/
 //	rbc-bench -concurrency 64               # serving-style coalescer benchmark
+//	rbc-bench -shard-addrs a:1,b:2          # networked cluster vs loopback
+//	rbc-bench -shard-addrs a:1,a:2,b:1,b:2 -replicas 2 -max-hedges 1 -net-slow 50ms
+//	                                        # replicated + hedged tail-latency experiment
 //
 // At -scale 1 the workloads match the paper's Table 1 sizes; the default
 // 0.01 runs in minutes on a laptop while preserving the √n parameter
@@ -19,6 +22,13 @@
 // closed-loop clients drive the HTTP server's /query endpoint and the
 // run reports QPS and p50/p99 latency for the per-query path, the
 // request-coalescing path, and the raw single-stream index as a floor.
+//
+// With -shard-addrs the command benchmarks the distributed cluster over
+// TCP against the in-process loopback transport, checking bit-identity
+// first. -replicas groups consecutive addresses into per-shard replica
+// sets; -max-hedges adds a hedged backend to the comparison and reports
+// the p99 improvement, which -net-slow makes visible by putting a sleep
+// proxy in front of shard 0's primary replica.
 package main
 
 import (
@@ -51,10 +61,14 @@ func main() {
 		serveBatch  = flag.Int("serve-batch", 0, "serving mode: coalescer max batch (0 = concurrency)")
 		serveWait   = flag.Duration("serve-wait", 500*time.Microsecond, "serving mode: coalescer max wait")
 
-		shardAddrs = flag.String("shard-addrs", "", "networked mode: comma-separated rbc-shard addresses (one per shard); benchmarks the cluster over TCP vs loopback (uses -serve-n/-serve-dim/-serve-secs)")
+		shardAddrs = flag.String("shard-addrs", "", "networked mode: comma-separated rbc-shard addresses; benchmarks the cluster over TCP vs loopback (uses -serve-n/-serve-dim/-serve-secs)")
 		netK       = flag.Int("net-k", 5, "networked mode: neighbors per query")
 		netBlock   = flag.Int("net-block", 64, "networked mode: queries per batched fan-out")
 		netTimeout = flag.Duration("net-timeout", 10*time.Second, "networked mode: per-attempt shard request deadline")
+		replicas   = flag.Int("replicas", 1, "networked mode: replicas per shard — consecutive -shard-addrs entries form one shard's ordered replica set")
+		maxHedges  = flag.Int("max-hedges", 0, "networked mode: extra replicas to hedge each scan onto (0 = hedging off; >0 adds a tcp+hedge backend to the comparison)")
+		hedgeDelay = flag.Duration("hedge-delay", 0, "networked mode: fixed hedge delay (0 = adaptive p95-RTT delay)")
+		netSlow    = flag.Duration("net-slow", 0, "networked mode: inject an in-process sleep proxy adding this delay in front of shard 0's primary replica")
 	)
 	flag.Parse()
 
@@ -77,9 +91,10 @@ func main() {
 			}
 		}
 		err := runNetBench(netBenchConfig{
-			addrs: addrs, n: *serveN, dim: *serveDim,
+			addrs: addrs, replicas: *replicas, n: *serveN, dim: *serveDim,
 			k: *netK, block: *netBlock, secs: *serveSecs,
 			seed: *seed, timeout: *netTimeout,
+			hedgeDelay: *hedgeDelay, maxHedges: *maxHedges, slow: *netSlow,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "rbc-bench: %v\n", err)

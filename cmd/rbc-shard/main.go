@@ -2,10 +2,19 @@
 // length-prefixed binary protocol (internal/distributed/wire).
 //
 // A shard process starts empty and generic: it holds no data until a
-// coordinator pushes its segments with Cluster.Distribute, after which
-// it answers batched scan requests with the exact same shard-scan code
-// the in-process cluster runs — answers over TCP are bit-identical to
-// loopback by construction.
+// coordinator pushes its segments with Cluster.Distribute (or
+// DistributeReplicas, which pushes the same state to every member of a
+// shard's replica set), after which it answers batched scan requests
+// with the exact same shard-scan code the in-process cluster runs —
+// answers over TCP are bit-identical to loopback by construction.
+//
+// The coordinator may push fresh state at any time: replica repair
+// (Cluster.AddShardReplica) re-sends the current segments, and a
+// rebalance (Cluster.Rebalance) re-sends reshuffled segments stamped
+// with a bumped replica epoch. The server always adopts the newest
+// load, and rejects scans whose epoch does not match the state it
+// holds ("stale epoch"), so a mid-cutover coordinator can never merge
+// answers computed against two different shard layouts.
 //
 // Usage:
 //

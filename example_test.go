@@ -1,0 +1,57 @@
+package rbc_test
+
+import (
+	"fmt"
+
+	rbc "repro"
+)
+
+// ExampleBruteForceK answers a small batch with the tiled brute-force
+// primitive — no index, one pass over the database shared by the whole
+// query block.
+func ExampleBruteForceK() {
+	db := rbc.FromRows([][]float32{
+		{0, 0}, {1, 0}, {2, 0}, {3, 0},
+	})
+	queries := rbc.FromRows([][]float32{{1.9, 0}})
+
+	for _, nb := range rbc.BruteForceK(queries, db, 2, rbc.Euclidean())[0] {
+		fmt.Printf("id=%d dist=%.1f\n", nb.ID, nb.Dist)
+	}
+	// Output:
+	// id=2 dist=0.1
+	// id=1 dist=0.9
+}
+
+// ExampleExact_KNNBatch builds the exact RBC index and answers a query
+// block in one batched call. Answers are exact, so the output does not
+// depend on the representative seed.
+func ExampleExact_KNNBatch() {
+	db := rbc.NewDataset(2)
+	for i := 0; i < 100; i++ {
+		db.Append([]float32{float32(i % 10), float32(i / 10)})
+	}
+	idx, err := rbc.BuildExact(db, rbc.Euclidean(), rbc.ExactParams{Seed: 42})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	queries := rbc.FromRows([][]float32{
+		{2.2, 0},
+		{8.6, 9},
+	})
+	nbrs, stats := idx.KNNBatch(queries, 2)
+	for qi, ns := range nbrs {
+		fmt.Printf("query %d:", qi)
+		for _, nb := range ns {
+			fmt.Printf(" (id=%d dist=%.1f)", nb.ID, nb.Dist)
+		}
+		fmt.Println()
+	}
+	fmt.Println("pruning saved work:", stats.TotalEvals() < int64(queries.N()*db.N()))
+	// Output:
+	// query 0: (id=2 dist=0.2) (id=3 dist=0.8)
+	// query 1: (id=99 dist=0.4) (id=98 dist=0.6)
+	// pruning saved work: true
+}

@@ -194,4 +194,97 @@ func main() {
 	}
 	fmt.Printf("wire accounting: %.1f KB sent, %.1f KB received across %d shard connections (0 retries expected on loopback)\n",
 		float64(wireOut)/1024, float64(wireIn)/1024, shards)
+
+	// Replicated serving: the same shard states pushed to TWO servers
+	// each. Hedging duplicates a scan onto the standby when the primary
+	// runs slower than its usual p95 RTT (first answer wins, the loser
+	// is cancelled), and if a replica dies outright the fan-out fails
+	// over inside the replica set — no failed shards, identical bits.
+	repCluster, err := distributed.Build(db, metric.Euclidean{},
+		core.ExactParams{NumReps: nr, Seed: seed, ExactCount: true, EarlyExit: true},
+		shards, distributed.DefaultCostModel())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer repCluster.Close()
+	primaries := make([]*distributed.ShardServer, shards)
+	assignment := make([][]string, shards)
+	for i := range assignment {
+		for r := 0; r < 2; r++ {
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				log.Fatal(err)
+			}
+			sv := distributed.NewShardServer()
+			go sv.Serve(ln)
+			defer sv.Close()
+			if r == 0 {
+				primaries[i] = sv
+			}
+			assignment[i] = append(assignment[i], ln.Addr().String())
+		}
+	}
+	opts := distributed.TCPOptions{Hedge: distributed.HedgeOptions{MaxHedges: 1}}
+	if err := repCluster.DistributeReplicas(assignment, opts); err != nil {
+		log.Fatal(err)
+	}
+	knnRep, _, err := repCluster.KNNBatch(queries, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nreplicated %d-NN block (2 replicas/shard, hedging on): %d positions diverged from loopback (expect 0)\n",
+		k, countDiverged(knnRep, knnWin))
+
+	// Live rebalance while serving: rotate every representative one
+	// shard to the right. Every replica of every shard receives the new
+	// state at a bumped epoch before routing cuts over; a straggler
+	// still holding the old state would reject post-cutover scans as
+	// "stale epoch" rather than silently answer from the wrong layout.
+	assign := repCluster.RepAssignment()
+	for rep := range assign {
+		assign[rep] = (assign[rep] + 1) % shards
+	}
+	if err := repCluster.Rebalance(assign); err != nil {
+		log.Fatal(err)
+	}
+	knnReb, _, err := repCluster.KNNBatch(queries, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rebalanced (every rep moved one shard right): new loads %v, %d positions diverged (expect 0)\n",
+		repCluster.ShardLoads(), countDiverged(knnReb, knnWin))
+
+	// Kill one replica of EVERY shard at once. The ordered replica sets
+	// absorb it: each scan fails over to the survivor, the batch still
+	// reports zero failed shards, and the answers do not move a bit.
+	for _, sv := range primaries {
+		sv.Close()
+	}
+	knnSurv, sm, err := repCluster.KNNBatch(queries, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var hedged, wins, cancelled, failures int64
+	for _, st := range repCluster.NetStats() {
+		hedged += st.Hedged
+		wins += st.HedgeWins
+		cancelled += st.Cancelled
+		failures += st.Failures
+	}
+	fmt.Printf("killed one replica of every shard: %d failed shards (expect 0), %d positions diverged (expect 0)\n",
+		sm.FailedShards, countDiverged(knnSurv, knnWin))
+	fmt.Printf("replica stats: %d hedged scans, %d hedge wins, %d losing scans cancelled, %d hard failures failed over\n",
+		hedged, wins, cancelled, failures)
+}
+
+func countDiverged(got, want [][]par.Neighbor) int {
+	diverged := 0
+	for qi := range want {
+		for p := range want[qi] {
+			if got[qi][p] != want[qi][p] {
+				diverged++
+			}
+		}
+	}
+	return diverged
 }

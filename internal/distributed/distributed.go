@@ -102,6 +102,36 @@
 // (DegradePartial). Queries never hang on a dead shard: every attempt
 // is deadline-bounded, so the worst case is MaxAttempts×RequestTimeout
 // plus backoff.
+//
+// # Replication, hedged requests and live rebalancing
+//
+// Cluster.DistributeReplicas pushes each shard's state to an ordered
+// replica SET instead of a single address. A scan tries the set in
+// order: a replica whose retry budget is exhausted (or that refuses via
+// MsgErr) hands the scan to the next replica, and the degradation
+// policy applies only when the whole set is exhausted — the *ShardError
+// then names every replica tried. With TCPOptions.Hedge, a scan that
+// has not answered after a delay (fixed, or adaptive from each
+// replica's windowed p95 RTT) is additionally duplicated onto the next
+// replica; the first answer wins and the losers are cancelled on the
+// wire. Cancellation is not failure: hedge losers charge the Cancelled
+// counter, never Failures, so ShardNetStats separates policy from
+// pathology (Hedged/HedgeWins/Cancelled vs Retries/Failures).
+//
+// Replica sets change online. AddShardReplica pushes the retained
+// state to a new address at the shard's current epoch;
+// RemoveShardReplica drops one (never the last). Rebalance moves
+// representatives between shards: affected shards are rebuilt from the
+// retained segment data, the new states are pushed to EVERY replica at
+// a bumped per-shard epoch, and only then does the routing table cut
+// over — atomically, because queries hold the lifecycle read lock
+// across their whole fan-out and the mutators hold the write side. The
+// epoch travels in every ScanRequest, and a shard rejects a scan whose
+// epoch does not match the state it holds ("stale epoch"), so answers
+// computed against two different layouts can never be merged. Answers
+// stay bit-identical through all of it — replication, hedging, replica
+// death, rebalance — because every replica serves byte-identical state
+// and the merge never depends on which replica scanned a segment.
 package distributed
 
 import (
@@ -226,6 +256,7 @@ type shardRequest struct {
 	wins        []float64
 	bounds      []float64
 	k           int
+	epoch       uint32 // shard-state generation the routing table was built for
 	includeReps bool
 	reply       chan shardReply
 }
@@ -383,12 +414,19 @@ type Cluster struct {
 	dim  int
 	cost CostModel
 
-	// shards holds the in-process shard state while the cluster runs on
-	// loopback; Distribute ships it to the remote processes and then
-	// frees it (nil afterwards — loads/segCounts keep the shape).
+	// shards holds the in-process shard state. On loopback the shard
+	// goroutines serve from it; Distribute ships it to the remote
+	// processes and stops the goroutines but RETAINS the data — replica
+	// repair (AddShardReplica) and Rebalance re-push it. Close frees it.
 	shards    []*shard
-	loads     []int // points held per shard (survives Distribute)
-	segCounts []int // segments held per shard (survives Distribute)
+	loads     []int // points held per shard
+	segCounts []int // segments held per shard
+
+	// epochs holds each shard's state generation, starting at 1. A
+	// shard's epoch bumps exactly when its segment composition changes
+	// (Rebalance); every routed scan carries its shard's epoch so a
+	// stale replica rejects scans planned against a different layout.
+	epochs []uint32
 
 	// windowed enables the shard-side EarlyExit windows (set by Build
 	// from core.ExactParams.EarlyExit; see the package comment).
@@ -503,6 +541,7 @@ func Build(db *vec.Dataset, m metric.Metric[[]float32], prm core.ExactParams, sh
 		c.shards = append(c.shards, sh)
 		c.loads = append(c.loads, len(sh.ids))
 		c.segCounts = append(c.segCounts, len(sh.offsets)-1)
+		c.epochs = append(c.epochs, 1)
 		go sh.serve()
 	}
 	c.tr = &loopback{shards: c.shards}
@@ -863,7 +902,7 @@ func (c *Cluster) finish(queries *vec.Dataset, k int, batches []shardBatch, boun
 				bs[t] = bounds[qi]
 			}
 		}
-		req := &shardRequest{qs: qs, segs: sb.segs, wins: sb.wins, bounds: bs, k: k, includeReps: includeReps}
+		req := &shardRequest{qs: qs, segs: sb.segs, wins: sb.wins, bounds: bs, k: k, epoch: c.epochs[sid], includeReps: includeReps}
 		go func(sid int, req *shardRequest) {
 			rp, err := c.tr.scan(sid, req)
 			results <- scanResult{sid: sid, rp: rp, err: err}
@@ -921,45 +960,329 @@ func (c *Cluster) checkDim(dim int) {
 	}
 }
 
-// Distribute lifts the cluster onto real TCP shard processes: it
-// connects to one rbc-shard per in-process shard (addrs[i] serves shard
-// i), pushes each shard's state over the wire (MsgLoad) and, once every
-// shard has acknowledged, swaps the transport and frees the in-process
-// shard goroutines and their data. The gathered layouts cross the wire
-// bit-exactly, and the remote scan path is the same shard.scan code, so
-// answers after Distribute are bit-identical to before.
+// Distribute lifts the cluster onto real TCP shard processes, one
+// replica per shard (addrs[i] serves shard i). It is DistributeReplicas
+// with single-replica sets; see there for the contract.
+func (c *Cluster) Distribute(addrs []string, opts TCPOptions) error {
+	assignment := make([][]string, len(addrs))
+	for i, a := range addrs {
+		assignment[i] = []string{a}
+	}
+	return c.DistributeReplicas(assignment, opts)
+}
+
+// DistributeReplicas lifts the cluster onto real TCP shard processes
+// with replication: assignment[i] is shard i's ordered replica set, and
+// every replica receives the shard's full state (MsgLoad, stamped with
+// the shard's current epoch). Once every replica of every shard has
+// acknowledged, the transport swaps over; the in-process shard
+// goroutines stop but their data is retained so AddShardReplica and
+// Rebalance can re-push it later. The gathered layouts cross the wire
+// bit-exactly, every replica of a shard holds identical state, and the
+// remote scan path is the same shard.scan code — so answers after
+// DistributeReplicas are bit-identical to before, whichever replica
+// serves them.
 //
 // On any load failure the cluster is left untouched on the loopback
-// transport and the error (a typed *ShardError) is returned. Distribute
-// is one-way: the in-process state is freed on success, so a second
-// call returns an error.
-func (c *Cluster) Distribute(addrs []string, opts TCPOptions) error {
+// transport and the error (a typed *ShardError naming the replica) is
+// returned. The lift is one-way: a second call returns an error.
+func (c *Cluster) DistributeReplicas(assignment [][]string, opts TCPOptions) error {
 	c.lifeMu.Lock()
 	defer c.lifeMu.Unlock()
 	if c.closed {
 		return ErrClusterClosed
 	}
-	if c.shards == nil {
+	if _, ok := c.tr.(*loopback); !ok {
 		return fmt.Errorf("distributed: cluster already distributed")
 	}
-	if len(addrs) != len(c.shards) {
-		return fmt.Errorf("distributed: %d addrs for %d shards", len(addrs), len(c.shards))
+	if len(assignment) != len(c.shards) {
+		return fmt.Errorf("distributed: %d replica sets for %d shards", len(assignment), len(c.shards))
+	}
+	for sid, addrs := range assignment {
+		if len(addrs) == 0 {
+			return fmt.Errorf("distributed: shard %d has an empty replica set", sid)
+		}
 	}
 	spec, err := wire.SpecFor(c.m)
 	if err != nil {
 		return err
 	}
-	tt := newTCPTransport(c.dim, addrs, opts)
+	tt := newTCPTransport(c.dim, assignment, opts)
 	for sid, sh := range c.shards {
-		if err := tt.load(sid, wire.EncodeShardState(stateOf(sh, spec))); err != nil {
+		if err := tt.load(sid, wire.EncodeShardState(stateOf(sh, spec, c.epochs[sid]))); err != nil {
 			tt.close()
 			return err
 		}
 	}
 	c.tr.close()
 	c.tr = tt
-	c.shards = nil
 	return nil
+}
+
+// ShardReplicas returns each shard's current ordered replica address
+// set, or nil while the cluster runs on the in-process loopback
+// transport.
+func (c *Cluster) ShardReplicas() [][]string {
+	c.lifeMu.RLock()
+	defer c.lifeMu.RUnlock()
+	tt, ok := c.tr.(*tcpTransport)
+	if !ok {
+		return nil
+	}
+	out := make([][]string, len(tt.sets))
+	for i, rs := range tt.sets {
+		for _, r := range rs.replicas {
+			out[i] = append(out[i], r.addr)
+		}
+	}
+	return out
+}
+
+// RepAssignment returns the current representative→shard assignment:
+// element rep is the shard owning representative rep's segment. The
+// slice is a fresh copy in exactly the shape Rebalance accepts, so a
+// caller can edit it and hand it back.
+func (c *Cluster) RepAssignment() []int {
+	c.lifeMu.RLock()
+	defer c.lifeMu.RUnlock()
+	out := make([]int, len(c.repIDs))
+	for rep := range out {
+		out[rep] = int(c.repShard[rep])
+	}
+	return out
+}
+
+// AddShardReplica attaches one more replica to a distributed shard: the
+// shard's retained state is pushed to addr at the shard's CURRENT epoch
+// (the segment composition is unchanged, so no epoch bump — the new
+// replica immediately serves the same scans as its peers), and on ack
+// the replica joins the end of the shard's ordered set. On a load
+// failure the set is left untouched and the error names the replica.
+func (c *Cluster) AddShardReplica(sid int, addr string) error {
+	c.lifeMu.Lock()
+	defer c.lifeMu.Unlock()
+	if c.closed {
+		return ErrClusterClosed
+	}
+	tt, ok := c.tr.(*tcpTransport)
+	if !ok {
+		return fmt.Errorf("distributed: cluster is not distributed; replicas exist only on the networked transport")
+	}
+	if sid < 0 || sid >= len(tt.sets) {
+		return fmt.Errorf("distributed: no shard %d (cluster has %d)", sid, len(tt.sets))
+	}
+	spec, err := wire.SpecFor(c.m)
+	if err != nil {
+		return err
+	}
+	r := tt.newReplica(sid, addr)
+	if err := tt.loadReplica(r, wire.EncodeShardState(stateOf(c.shards[sid], spec, c.epochs[sid]))); err != nil {
+		r.drain()
+		return err
+	}
+	tt.sets[sid].replicas = append(tt.sets[sid].replicas, r)
+	return nil
+}
+
+// RemoveShardReplica detaches one replica from a distributed shard's
+// set and closes its pooled connections. A shard always keeps at least
+// one replica: removing the last one is refused. The remote process is
+// not stopped — like Close, this only forgets the replica.
+func (c *Cluster) RemoveShardReplica(sid int, addr string) error {
+	c.lifeMu.Lock()
+	defer c.lifeMu.Unlock()
+	if c.closed {
+		return ErrClusterClosed
+	}
+	tt, ok := c.tr.(*tcpTransport)
+	if !ok {
+		return fmt.Errorf("distributed: cluster is not distributed; replicas exist only on the networked transport")
+	}
+	if sid < 0 || sid >= len(tt.sets) {
+		return fmt.Errorf("distributed: no shard %d (cluster has %d)", sid, len(tt.sets))
+	}
+	rs := tt.sets[sid]
+	for i, r := range rs.replicas {
+		if r.addr != addr {
+			continue
+		}
+		if len(rs.replicas) == 1 {
+			return fmt.Errorf("distributed: refusing to remove %s: it is shard %d's last replica", addr, sid)
+		}
+		r.drain()
+		rs.replicas = append(append([]*tcpShard(nil), rs.replicas[:i]...), rs.replicas[i+1:]...)
+		return nil
+	}
+	return fmt.Errorf("distributed: shard %d has no replica %s", sid, addr)
+}
+
+// Rebalance moves representatives (and their gathered segments) between
+// the cluster's existing shards: newAssign[rep] names the shard that
+// will own representative rep afterwards. Only shards whose segment
+// composition actually changes are touched — each rebuilds its gathered
+// layout from the retained segment data (stayers keep their relative
+// segment order, arrivals append in ascending representative order) and
+// bumps its epoch.
+//
+// On a networked cluster every replica of every affected shard receives
+// the new state (MsgLoad at the next epoch) BEFORE any routing changes;
+// if a push fails, the old states are re-pushed best-effort and the
+// cluster keeps its previous assignment. Only after every replica has
+// acknowledged does the routing table cut over — atomically from a
+// query's point of view, because queries hold the lifecycle read lock
+// across their whole fan-out and Rebalance holds the write side (taking
+// it drains in-flight fan-out on the old table). Answers are
+// bit-identical before, during and after: segments cross shards
+// byte-for-byte, every kernel stays exact grade, and the merge never
+// depends on which shard scanned a segment.
+func (c *Cluster) Rebalance(newAssign []int) error {
+	c.lifeMu.Lock()
+	defer c.lifeMu.Unlock()
+	if c.closed {
+		return ErrClusterClosed
+	}
+	nr := len(c.repIDs)
+	if len(newAssign) != nr {
+		return fmt.Errorf("distributed: %d assignments for %d representatives", len(newAssign), nr)
+	}
+	nshard := len(c.loads)
+	for rep, sid := range newAssign {
+		if sid < 0 || sid >= nshard {
+			return fmt.Errorf("distributed: representative %d assigned to shard %d (cluster has %d)", rep, sid, nshard)
+		}
+	}
+	// Current per-shard rep lists in segment order, then the new lists:
+	// stayers first in their old relative order, movers appended in
+	// ascending rep order. A shard whose list is unchanged keeps its
+	// exact layout and epoch.
+	oldPerShard := make([][]int, nshard)
+	for sid := range oldPerShard {
+		oldPerShard[sid] = make([]int, c.segCounts[sid])
+	}
+	for rep := 0; rep < nr; rep++ {
+		oldPerShard[c.repShard[rep]][c.repSeg[rep]] = rep
+	}
+	newPerShard := make([][]int, nshard)
+	for sid, reps := range oldPerShard {
+		for _, rep := range reps {
+			if newAssign[rep] == sid {
+				newPerShard[sid] = append(newPerShard[sid], rep)
+			}
+		}
+	}
+	for rep := 0; rep < nr; rep++ {
+		if sid := newAssign[rep]; sid != int(c.repShard[rep]) {
+			newPerShard[sid] = append(newPerShard[sid], rep)
+		}
+	}
+	var affected []int
+	for sid := range newPerShard {
+		if !equalInts(newPerShard[sid], oldPerShard[sid]) {
+			affected = append(affected, sid)
+		}
+	}
+	if len(affected) == 0 {
+		return nil
+	}
+	// Rebuild every affected shard from the retained segment data before
+	// touching any live state.
+	newShards := make(map[int]*shard, len(affected))
+	for _, sid := range affected {
+		newShards[sid] = c.buildShard(sid, newPerShard[sid])
+	}
+	// Networked: push the new states (next epoch) to every replica
+	// first. Until the cutover below, scans keep routing on the OLD
+	// table with OLD epochs — a replica that already loaded the new
+	// state rejects them (stale epoch), which failover treats as that
+	// replica being down; correctness never depends on the push order.
+	// No scans are actually in flight here (we hold the write lock), so
+	// in practice the window is empty.
+	if tt, ok := c.tr.(*tcpTransport); ok {
+		spec, err := wire.SpecFor(c.m)
+		if err != nil {
+			return err
+		}
+		var pushed []int
+		var pushErr error
+		for _, sid := range affected {
+			st := stateOf(newShards[sid], spec, c.epochs[sid]+1)
+			if err := tt.load(sid, wire.EncodeShardState(st)); err != nil {
+				pushErr = err
+				break
+			}
+			pushed = append(pushed, sid)
+		}
+		if pushErr != nil {
+			// Best-effort rollback: re-push the old states at their old
+			// epochs so already-updated replicas serve the assignment the
+			// cluster keeps using.
+			for _, sid := range pushed {
+				_ = tt.load(sid, wire.EncodeShardState(stateOf(c.shards[sid], spec, c.epochs[sid])))
+			}
+			return pushErr
+		}
+	}
+	// Cutover. On loopback the affected shards get fresh serve
+	// goroutines and the old ones stop; either way the routing table,
+	// shard data and epochs swap while no query runs.
+	if lb, ok := c.tr.(*loopback); ok {
+		for _, sid := range affected {
+			sh := newShards[sid]
+			sh.reqs = make(chan shardRequest, 16)
+			go sh.serve()
+			close(c.shards[sid].reqs)
+			lb.shards[sid] = sh
+		}
+	}
+	for _, sid := range affected {
+		c.shards[sid] = newShards[sid]
+		c.epochs[sid]++
+		c.loads[sid] = len(newShards[sid].ids)
+		c.segCounts[sid] = len(newShards[sid].offsets) - 1
+	}
+	for sid, reps := range newPerShard {
+		for seg, rep := range reps {
+			c.repShard[rep] = int32(sid)
+			c.repSeg[rep] = int32(seg)
+		}
+	}
+	return nil
+}
+
+// buildShard assembles a replacement shard holding reps' segments, in
+// order, copied out of the shards that currently own them. Segment
+// bytes move verbatim (ids, rep flags, gathered vectors, and — on
+// windowed clusters — the sorted distance-to-representative columns),
+// so a moved segment scans identically wherever it lives.
+func (c *Cluster) buildShard(sid int, reps []int) *shard {
+	sh := &shard{id: sid, dim: c.dim, ker: c.ker}
+	sh.offsets = append(sh.offsets, 0)
+	for _, rep := range reps {
+		src := c.shards[c.repShard[rep]]
+		seg := int(c.repSeg[rep])
+		lo, hi := src.offsets[seg], src.offsets[seg+1]
+		sh.repIDs = append(sh.repIDs, int32(c.repIDs[rep]))
+		sh.ids = append(sh.ids, src.ids[lo:hi]...)
+		sh.isRep = append(sh.isRep, src.isRep[lo:hi]...)
+		sh.gather = append(sh.gather, src.gather[lo*c.dim:hi*c.dim]...)
+		if c.windowed {
+			sh.segDists = append(sh.segDists, src.segDists[lo:hi]...)
+		}
+		sh.offsets = append(sh.offsets, len(sh.ids))
+	}
+	return sh
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // NetStats returns per-shard transport counters (request/retry/failure

@@ -1,0 +1,124 @@
+package distributed
+
+import (
+	"fmt"
+	"net"
+
+	"repro/internal/core"
+	"repro/internal/metric"
+	"repro/internal/vec"
+)
+
+func exampleDB() *vec.Dataset {
+	db := vec.New(2, 0)
+	for i := 0; i < 400; i++ {
+		db.Append([]float32{float32(i % 20), float32(i / 20)})
+	}
+	return db
+}
+
+// ExampleCluster_Distribute pushes a cluster's shard states to TCP
+// shard servers (in-process here, standalone rbc-shard processes in
+// production) and answers a block over the wire. Answers are exact, so
+// the output does not depend on the representative seed or on which
+// transport served it.
+func ExampleCluster_Distribute() {
+	cl, err := Build(exampleDB(), metric.Euclidean{},
+		core.ExactParams{Seed: 7}, 2, DefaultCostModel())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer cl.Close()
+
+	addrs := make([]string, cl.NumShards())
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		sv := NewShardServer()
+		go sv.Serve(ln)
+		defer sv.Close()
+		addrs[i] = ln.Addr().String()
+	}
+	if err := cl.Distribute(addrs, TCPOptions{}); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	queries := vec.FromRows([][]float32{
+		{2.2, 0},
+		{17.6, 19},
+	})
+	nbrs, met, err := cl.KNNBatch(queries, 2)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for qi, ns := range nbrs {
+		fmt.Printf("query %d:", qi)
+		for _, nb := range ns {
+			fmt.Printf(" (id=%d dist=%.1f)", nb.ID, nb.Dist)
+		}
+		fmt.Println()
+	}
+	fmt.Println("failed shards:", met.FailedShards)
+	// Output:
+	// query 0: (id=2 dist=0.2) (id=3 dist=0.8)
+	// query 1: (id=398 dist=0.4) (id=397 dist=0.6)
+	// failed shards: 0
+}
+
+// ExampleCluster_Rebalance moves every representative one shard to the
+// right while the cluster keeps serving. Segments cross shards
+// byte-for-byte, so the answers do not move a bit.
+func ExampleCluster_Rebalance() {
+	cl, err := Build(exampleDB(), metric.Euclidean{},
+		core.ExactParams{Seed: 7}, 2, DefaultCostModel())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer cl.Close()
+
+	queries := vec.FromRows([][]float32{{2.2, 0}, {17.6, 19}})
+	before, _, err := cl.KNNBatch(queries, 3)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	assign := cl.RepAssignment()
+	for rep := range assign {
+		assign[rep] = (assign[rep] + 1) % cl.NumShards()
+	}
+	if err := cl.Rebalance(assign); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	after, _, err := cl.KNNBatch(queries, 3)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	diverged := 0
+	for qi := range before {
+		for p := range before[qi] {
+			if after[qi][p] != before[qi][p] {
+				diverged++
+			}
+		}
+	}
+	points := 0
+	for _, l := range cl.ShardLoads() {
+		points += l
+	}
+	fmt.Println("positions diverged after rebalance:", diverged)
+	fmt.Println("points still served:", points)
+	// Output:
+	// positions diverged after rebalance: 0
+	// points still served: 400
+}

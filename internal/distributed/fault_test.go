@@ -257,7 +257,7 @@ func TestInducedTimeout(t *testing.T) {
 	addr := startBlackHole(t)
 	opts := fastOpts()
 	opts.RequestTimeout = 300 * time.Millisecond
-	tr := newTCPTransport(4, []string{addr}, opts)
+	tr := newTCPTransport(4, [][]string{{addr}}, opts)
 	defer tr.close()
 
 	start := time.Now()
@@ -285,7 +285,7 @@ func TestConnectRefused(t *testing.T) {
 	}
 	addr := ln.Addr().String()
 	ln.Close() // free the port; nothing listens there now
-	tr := newTCPTransport(4, []string{addr}, fastOpts())
+	tr := newTCPTransport(4, [][]string{{addr}}, fastOpts())
 	defer tr.close()
 	_, scanErr := tr.scan(0, &shardRequest{qs: make([]float32, 4), segs: [][]int{{0}}, k: 1})
 	var serr *ShardError
@@ -312,7 +312,7 @@ func TestTruncatedFrameDropsConnection(t *testing.T) {
 	}
 	conn.Close() // torn mid-frame
 
-	tr := newTCPTransport(4, addrs, fastOpts())
+	tr := newTCPTransport(4, oneEach(addrs), fastOpts())
 	defer tr.close()
 	if err := tr.ping(0); err != nil {
 		t.Fatalf("server wedged after torn frame: %v", err)

@@ -1,0 +1,245 @@
+package distributed
+
+import (
+	"errors"
+	"net"
+	"sort"
+	"sync"
+	"time"
+)
+
+// errScanCancelled marks an attempt abandoned because another replica
+// answered first. It never surfaces to callers: the winning reply does.
+var errScanCancelled = errors.New("distributed: scan cancelled (another replica won)")
+
+// clock abstracts the two time operations the hedging race needs, so
+// the hedge-policy unit tests can drive the race with a fake clock
+// instead of sleeping.
+type clock interface {
+	Now() time.Time
+	After(d time.Duration) <-chan time.Time
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time                         { return time.Now() }
+func (realClock) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// canceller lets the hedging race abort a losing attempt mid-I/O. The
+// attempt registers its live connection before each blocking exchange;
+// cancel closes whatever is registered, which unblocks the pending read
+// or write with an error, and flips the abandoned flag so the attempt's
+// retry loop stops instead of dialing a fresh connection. release
+// detaches a connection that finished its exchange cleanly, so a late
+// cancel cannot poison a pooled connection.
+type canceller struct {
+	mu        sync.Mutex
+	conn      net.Conn
+	cancelled bool
+}
+
+// register attaches the attempt's current connection. It reports false
+// when the attempt has already been cancelled — the caller must close
+// the connection and abandon the attempt.
+func (c *canceller) register(conn net.Conn) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cancelled {
+		return false
+	}
+	c.conn = conn
+	return true
+}
+
+// release detaches the registered connection without cancelling.
+func (c *canceller) release() {
+	c.mu.Lock()
+	c.conn = nil
+	c.mu.Unlock()
+}
+
+// abandoned reports whether cancel has been called.
+func (c *canceller) abandoned() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cancelled
+}
+
+// cancel closes the registered connection (if any) and marks the
+// attempt abandoned. It reports whether this call was the one that
+// cancelled (false when already cancelled).
+func (c *canceller) cancel() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cancelled {
+		return false
+	}
+	c.cancelled = true
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+	return true
+}
+
+// rttQuantile tracks a p-quantile of observed exchange RTTs over a
+// sliding window of the most recent observations. A sorted copy of a
+// small fixed window per estimate keeps it simple, deterministic and
+// O(window log window) — negligible next to a network round trip.
+type rttQuantile struct {
+	mu  sync.Mutex
+	p   float64
+	buf []time.Duration // ring buffer of the last len(buf) observations
+	n   int             // total observations ever
+}
+
+// rttQuantileWindow is the sliding-window size: large enough that one
+// outlier cannot drag the estimate, small enough to adapt within a few
+// dozen scans when a replica's latency regime shifts.
+const rttQuantileWindow = 64
+
+// rttQuantileMinSamples gates the estimate: below this many
+// observations the estimator reports "no estimate yet" and the hedge
+// delay falls back to its floor (hedge eagerly, learn fast).
+const rttQuantileMinSamples = 8
+
+func newRTTQuantile(p float64) *rttQuantile {
+	return &rttQuantile{p: p, buf: make([]time.Duration, rttQuantileWindow)}
+}
+
+func (q *rttQuantile) observe(d time.Duration) {
+	q.mu.Lock()
+	q.buf[q.n%len(q.buf)] = d
+	q.n++
+	q.mu.Unlock()
+}
+
+// estimate returns the current p-quantile and whether enough samples
+// have been observed to trust it.
+func (q *rttQuantile) estimate() (time.Duration, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.n < rttQuantileMinSamples {
+		return 0, false
+	}
+	filled := q.n
+	if filled > len(q.buf) {
+		filled = len(q.buf)
+	}
+	tmp := make([]time.Duration, filled)
+	copy(tmp, q.buf[:filled])
+	sort.Slice(tmp, func(a, b int) bool { return tmp[a] < tmp[b] })
+	idx := int(q.p * float64(filled-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx > filled-1 {
+		idx = filled - 1
+	}
+	return tmp[idx], true
+}
+
+// hedgeOutcome reports what one hedged race did, for stats accounting.
+type hedgeOutcome struct {
+	winner    int   // replica index that answered; -1 when all failed
+	hedged    []int // replicas contacted because the hedge timer fired
+	cancelled []int // replicas whose in-flight attempt a winner cancelled
+}
+
+// hedgedScan races one scan across an ordered replica set. Replica 0 is
+// attempted immediately. While no answer has arrived, each expiry of
+// the hedge delay fires the same request at the next replica, up to
+// maxHedges extra attempts — the tail-latency hedge. Independently, a
+// replica whose attempt fails outright (its whole retry budget spent,
+// or a remote refusal) triggers an immediate failover launch of the
+// next unlaunched replica, not charged against maxHedges: hedging
+// bounds resource amplification for slow-but-alive replicas, while
+// failover must always be allowed to walk the entire set — otherwise a
+// dead primary with hedging disabled could never reach its healthy
+// twin.
+//
+// The first successful reply wins; every other in-flight attempt is
+// cancelled through its canceller (closing its connection, so the
+// cancellation reaches the losing replica's socket, not just local
+// state). Replies are bit-identical across replicas by construction —
+// every replica of a shard holds the same ShardState and runs the same
+// scan code — so taking whichever answer lands first never changes a
+// result bit.
+//
+// attempt(i, cx) must run replica i's full exchange (with its own retry
+// budget), registering every live connection on cx. delay is consulted
+// before each hedge arm, so an adaptive estimator can move between
+// fires. When every replica has been launched and has failed, the first
+// failure's error is returned (the caller decorates it with the
+// exhausted replica set).
+func hedgedScan(nrep, maxHedges int, delay func() time.Duration, clk clock,
+	attempt func(i int, cx *canceller) (shardReply, error)) (shardReply, hedgeOutcome, error) {
+	out := hedgeOutcome{winner: -1}
+	type attemptResult struct {
+		idx int
+		rp  shardReply
+		err error
+	}
+	// Buffered to nrep so abandoned attempts can always deliver their
+	// (ignored) result and exit — no goroutine leak after a winner.
+	results := make(chan attemptResult, nrep)
+	cancels := make([]*canceller, nrep)
+	launch := func(i int) {
+		cx := &canceller{}
+		cancels[i] = cx
+		go func() {
+			rp, err := attempt(i, cx)
+			results <- attemptResult{idx: i, rp: rp, err: err}
+		}()
+	}
+	launched, pending := 1, 1
+	launch(0)
+	if maxHedges > nrep-1 {
+		maxHedges = nrep - 1
+	}
+	var timer <-chan time.Time
+	if maxHedges > 0 && launched < nrep {
+		timer = clk.After(delay())
+	}
+	var firstErr error
+	for {
+		select {
+		case r := <-results:
+			if r.err == nil {
+				out.winner = r.idx
+				for i, cx := range cancels {
+					if i != r.idx && cx != nil && cx.cancel() {
+						out.cancelled = append(out.cancelled, i)
+					}
+				}
+				return r.rp, out, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			pending--
+			if launched < nrep {
+				// Failover: this replica is conclusively unable to
+				// answer, so the next one starts now regardless of the
+				// hedge budget or timer.
+				launch(launched)
+				launched++
+				pending++
+			} else if pending == 0 {
+				return shardReply{}, out, firstErr
+			}
+		case <-timer:
+			timer = nil
+			if launched < nrep && maxHedges > 0 {
+				out.hedged = append(out.hedged, launched)
+				launch(launched)
+				launched++
+				pending++
+				maxHedges--
+			}
+			if maxHedges > 0 && launched < nrep {
+				timer = clk.After(delay())
+			}
+		}
+	}
+}

@@ -212,3 +212,145 @@ func TestMultiProcessEquivalenceAndShardKill(t *testing.T) {
 		}
 	}
 }
+
+// TestMultiProcessReplicatedKillOneReplicaPerShard is the replicated
+// fault drill (PR 10): three shards, each served by TWO real shard
+// processes, with one replica of EVERY shard SIGKILLed mid-workload.
+// Failover walks each shard's set, so every batch before, during and
+// after the kills must return answers bit-identical to the loopback
+// twin with ZERO FailedShards — replication turns what used to be an
+// outage into pure failover traffic, visible only in the per-replica
+// net counters.
+func TestMultiProcessReplicatedKillOneReplicaPerShard(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns child processes")
+	}
+	const shards, k = 3, 6
+	rng := rand.New(rand.NewSource(947))
+	db := clustered(rng, 900, 6, 8)
+	queries := clustered(rng, 48, 6, 8)
+	prm := core.ExactParams{Seed: 953, EarlyExit: true}
+
+	loop, err := Build(db, metric.Euclidean{}, prm, shards, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loop.Close()
+	netCl, err := Build(db, metric.Euclidean{}, prm, shards, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer netCl.Close()
+
+	// Two replica processes per shard; replica 0 is the kill target.
+	procs := make([][2]*shardProc, shards)
+	assignment := make([][]string, shards)
+	for sid := 0; sid < shards; sid++ {
+		procs[sid][0] = startShardProc(t)
+		procs[sid][1] = startShardProc(t)
+		assignment[sid] = []string{procs[sid][0].addr, procs[sid][1].addr}
+	}
+	opts := fastOpts()
+	opts.Degrade = DegradePartial // zero FailedShards must hold even when allowed to degrade
+	if err := netCl.DistributeReplicas(assignment, opts); err != nil {
+		t.Fatalf("DistributeReplicas: %v", err)
+	}
+
+	want, _, err := loop.KNNBatch(queries, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(stage string) {
+		t.Helper()
+		got, met, err := netCl.KNNBatch(queries, k)
+		if err != nil {
+			t.Fatalf("%s: %v", stage, err)
+		}
+		if met.FailedShards != 0 {
+			t.Fatalf("%s: %d FailedShards with a live replica per shard", stage, met.FailedShards)
+		}
+		for i := range want {
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("%s: query %d pos %d: %+v vs loopback %+v", stage, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+	check("healthy replicated cluster")
+
+	// Kill one replica of every shard while a workload goroutine runs.
+	stop := make(chan struct{})
+	workErr := make(chan error, 1)
+	go func() {
+		for {
+			select {
+			case <-stop:
+				workErr <- nil
+				return
+			default:
+			}
+			if _, met, err := netCl.KNNBatch(queries, k); err != nil {
+				workErr <- fmt.Errorf("mid-kill batch: %w", err)
+				return
+			} else if met.FailedShards != 0 {
+				workErr <- fmt.Errorf("mid-kill batch counted %d FailedShards", met.FailedShards)
+				return
+			}
+		}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	for sid := 0; sid < shards; sid++ {
+		procs[sid][0].sigkill(t)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(stop)
+	if err := <-workErr; err != nil {
+		t.Fatal(err)
+	}
+	check("after killing one replica per shard")
+
+	// The kills must be visible as failover traffic: every killed
+	// replica accumulated failures, every survivor kept serving.
+	stats := netCl.NetStats()
+	if len(stats) != 2*shards {
+		t.Fatalf("%d stats entries for %d replicas", len(stats), 2*shards)
+	}
+	bySurvivor := map[string]bool{}
+	for sid := 0; sid < shards; sid++ {
+		bySurvivor[procs[sid][1].addr] = true
+	}
+	sawFailover := false
+	for _, st := range stats {
+		if bySurvivor[st.Addr] {
+			if st.Requests == 0 {
+				t.Fatalf("surviving replica %s served nothing: %+v", st.Addr, st)
+			}
+			continue
+		}
+		if st.Failures > 0 {
+			sawFailover = true
+		}
+	}
+	if !sawFailover {
+		t.Fatal("killed replicas show no failures — failover path not exercised")
+	}
+
+	// Killing the survivors too exhausts shard sets: DegradePartial now
+	// counts the missing shards instead of failing.
+	for sid := 0; sid < shards; sid++ {
+		procs[sid][1].sigkill(t)
+	}
+	res, met, err := netCl.KNNBatch(queries, k)
+	if err != nil {
+		t.Fatalf("DegradePartial after total kill: %v", err)
+	}
+	if met.FailedShards != shards {
+		t.Fatalf("%d FailedShards after killing every replica, want %d", met.FailedShards, shards)
+	}
+	for i := range res {
+		if len(res[i]) == 0 {
+			t.Fatalf("query %d lost all candidates — rep seeding should survive", i)
+		}
+	}
+}

@@ -25,6 +25,7 @@ type ShardServer struct {
 
 	mu     sync.Mutex
 	sh     *shard
+	epoch  uint32 // generation of the loaded state; scans must match it
 	ln     net.Listener
 	conns  map[net.Conn]struct{}
 	closed bool
@@ -145,13 +146,14 @@ func (s *ShardServer) handleLoad(body []byte) []byte {
 	}
 	s.mu.Lock()
 	s.sh = sh
+	s.epoch = st.Epoch
 	s.mu.Unlock()
 	return wire.EncodeEmpty(wire.MsgLoadOK)
 }
 
 func (s *ShardServer) handleScan(body []byte) []byte {
 	s.mu.Lock()
-	sh := s.sh
+	sh, epoch := s.sh, s.epoch
 	s.mu.Unlock()
 	if sh == nil {
 		return wire.EncodeErr("no shard state loaded")
@@ -159,6 +161,13 @@ func (s *ShardServer) handleScan(body []byte) []byte {
 	req, err := wire.DecodeScanRequest(body)
 	if err != nil {
 		return wire.EncodeErr("bad scan request: " + err.Error())
+	}
+	if req.Epoch != epoch {
+		// The scan was planned against a different segment layout than
+		// this replica holds (a rebalance one side has not seen yet).
+		// Answering would merge candidates from the wrong segments;
+		// refusing makes the coordinator fail over to a current replica.
+		return wire.EncodeErr(fmt.Sprintf("stale epoch: scan routed at epoch %d, shard loaded at epoch %d", req.Epoch, epoch))
 	}
 	if err := validateScan(sh, req); err != nil {
 		return wire.EncodeErr("bad scan request: " + err.Error())
@@ -239,11 +248,13 @@ func shardFromState(st *wire.ShardState) (*shard, error) {
 	}, nil
 }
 
-// stateOf snapshots a shard into its wire form (the MsgLoad payload).
-func stateOf(sh *shard, spec wire.MetricSpec) *wire.ShardState {
+// stateOf snapshots a shard into its wire form (the MsgLoad payload),
+// stamped with the epoch the receiving replica must serve scans for.
+func stateOf(sh *shard, spec wire.MetricSpec, epoch uint32) *wire.ShardState {
 	return &wire.ShardState{
 		ID:       sh.id,
 		Dim:      sh.dim,
+		Epoch:    epoch,
 		Metric:   spec,
 		RepIDs:   sh.repIDs,
 		Offsets:  sh.offsets,

@@ -32,6 +32,16 @@ func startShardServers(t *testing.T, n int) ([]string, []*ShardServer) {
 	return addrs, servers
 }
 
+// oneEach wraps a flat address list into single-replica sets — the
+// shape newTCPTransport takes since replication landed.
+func oneEach(addrs []string) [][]string {
+	out := make([][]string, len(addrs))
+	for i, a := range addrs {
+		out[i] = []string{a}
+	}
+	return out
+}
+
 // fastOpts keeps fault-path tests snappy: short deadlines, two attempts,
 // minimal backoff.
 func fastOpts() TCPOptions {
@@ -189,21 +199,21 @@ func TestDistributeValidation(t *testing.T) {
 // wire-level remote detail.
 func TestShardServerRejectsScanBeforeLoad(t *testing.T) {
 	addrs, _ := startShardServers(t, 1)
-	tr := newTCPTransport(4, addrs, fastOpts())
+	tr := newTCPTransport(4, oneEach(addrs), fastOpts())
 	defer tr.close()
 	_, err := tr.scan(0, &shardRequest{qs: make([]float32, 4), segs: [][]int{{0}}, k: 1})
 	var serr *ShardError
 	if !errors.As(err, &serr) {
 		t.Fatalf("err=%v, want *ShardError", err)
 	}
-	if tr.shards[0].stats.Retries != 0 {
+	if tr.sets[0].replicas[0].stats.Retries != 0 {
 		t.Fatal("remote error was retried")
 	}
 }
 
 func TestTCPPingAndPool(t *testing.T) {
 	addrs, _ := startShardServers(t, 1)
-	tr := newTCPTransport(4, addrs, TCPOptions{})
+	tr := newTCPTransport(4, oneEach(addrs), TCPOptions{})
 	defer tr.close()
 	for i := 0; i < 3; i++ {
 		if err := tr.ping(0); err != nil {
@@ -219,7 +229,7 @@ func TestTCPPingAndPool(t *testing.T) {
 	}
 	// The pool should be reusing one warm connection, not piling up new
 	// ones: after serial pings, exactly one idle conn is pooled.
-	if n := len(tr.shards[0].pool); n != 1 {
+	if n := len(tr.sets[0].replicas[0].pool); n != 1 {
 		t.Fatalf("%d pooled conns after serial pings, want 1", n)
 	}
 }

@@ -58,10 +58,14 @@ func (s MetricSpec) Metric() (metric.Metric[[]float32], error) {
 // pruning bound in ordering space, and Wins (optional) the flat
 // [dLo, dHi] admissible-window pairs aligned with the concatenation of
 // Segs — the exact shape internal/distributed's shardRequest carries
-// in process.
+// in process. Epoch names the shard-state generation the request was
+// routed under; a shard loaded with a different epoch rejects the scan
+// with MsgErr instead of answering against the wrong segment layout
+// (see doc.go, "Replica epochs").
 type ScanRequest struct {
 	Dim         int
 	K           int
+	Epoch       uint32
 	IncludeReps bool
 	Qs          []float32
 	Segs        [][]int
@@ -90,6 +94,7 @@ func EncodeScanRequest(r *ScanRequest) []byte {
 	f := NewFrame(MsgScan)
 	f = appendU32(f, uint32(r.Dim))
 	f = appendU32(f, uint32(r.K))
+	f = appendU32(f, r.Epoch)
 	f = appendU8(f, flags)
 	f = appendU32(f, uint32(len(r.Segs)))
 	f = appendF32s(f, r.Qs)
@@ -112,8 +117,9 @@ func EncodeScanRequest(r *ScanRequest) []byte {
 func DecodeScanRequest(body []byte) (*ScanRequest, error) {
 	d := &dec{b: body}
 	r := &ScanRequest{
-		Dim: int(d.u32()),
-		K:   int(d.u32()),
+		Dim:   int(d.u32()),
+		K:     int(d.u32()),
+		Epoch: d.u32(),
 	}
 	flags := d.u8()
 	r.IncludeReps = flags&flagIncludeReps != 0
@@ -197,12 +203,16 @@ func DecodeScanReply(body []byte) (*ScanReply, error) {
 	return r, nil
 }
 
-// ShardState is the one-time payload that hands a shard its segments:
-// the gathered member layout internal/distributed builds in process,
-// shipped verbatim so a remote shard scans byte-identical data.
+// ShardState is the payload that hands a shard its segments: the
+// gathered member layout internal/distributed builds in process,
+// shipped verbatim so a remote shard scans byte-identical data. Epoch
+// is the state's generation; the shard echoes it back as the only
+// epoch it will serve scans for. Re-pushing a ShardState (replica
+// repair, rebalance) is the same message again.
 type ShardState struct {
 	ID       int
 	Dim      int
+	Epoch    uint32
 	Metric   MetricSpec
 	RepIDs   []int32
 	Offsets  []int
@@ -218,6 +228,7 @@ func EncodeShardState(s *ShardState) []byte {
 	f = append(f, Version, MsgLoad)
 	f = appendU32(f, uint32(s.ID))
 	f = appendU32(f, uint32(s.Dim))
+	f = appendU32(f, s.Epoch)
 	f = appendU8(f, s.Metric.Kind)
 	f = appendF64(f, s.Metric.P)
 	f = appendU32(f, uint32(len(s.RepIDs)))
@@ -251,8 +262,9 @@ func EncodeShardState(s *ShardState) []byte {
 func DecodeShardState(body []byte) (*ShardState, error) {
 	d := &dec{b: body}
 	s := &ShardState{
-		ID:  int(d.u32()),
-		Dim: int(d.u32()),
+		ID:    int(d.u32()),
+		Dim:   int(d.u32()),
+		Epoch: d.u32(),
 	}
 	s.Metric.Kind = d.u8()
 	s.Metric.P = d.f64()

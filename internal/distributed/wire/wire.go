@@ -1,42 +1,3 @@
-// Package wire defines the shard protocol that takes the distributed
-// cluster over a real network: a length-prefixed, CRC-checked binary
-// framing (the same discipline internal/wal uses on disk) carrying the
-// coordinator↔shard messages of internal/distributed.
-//
-// # Frame layout
-//
-// Every message is one frame
-//
-//	uint32 payload length | uint32 CRC-32C(payload) | payload
-//
-// with the payload being a version byte (currently 1), a message-type
-// byte, and the message body. All integers are little-endian; float32
-// and float64 values travel as their IEEE-754 bit patterns, so decoded
-// values are bit-identical to what was encoded — the property the
-// cluster's bit-identity contract rides on (ordering-space candidate
-// distances cross the wire as raw float64 bits).
-//
-// A frame whose CRC does not match the payload decodes to ErrCorrupt;
-// a length field beyond the receiver's limit decodes to ErrTooLarge;
-// an unknown version byte decodes to ErrBadVersion. A truncated frame
-// surfaces as the underlying io error (io.ErrUnexpectedEOF from a torn
-// read). All of these poison only the connection they arrived on: the
-// scan protocol is stateless request/response, so the client retries on
-// a fresh connection.
-//
-// # Messages
-//
-//	MsgLoad      coordinator → shard   full shard state (ShardState)
-//	MsgLoadOK    shard → coordinator   load acknowledged
-//	MsgScan      coordinator → shard   one batched scan (ScanRequest)
-//	MsgScanReply shard → coordinator   per-query candidates (ScanReply)
-//	MsgErr       shard → coordinator   typed remote failure (RemoteError)
-//	MsgPing      either direction      liveness / RTT probe
-//	MsgPong      reply to MsgPing
-//
-// The scan exchange is strict request/response per connection; the
-// coordinator pools connections for parallelism. A scan is a pure read,
-// so retrying one after a torn exchange is always safe.
 package wire
 
 import (
@@ -48,8 +9,10 @@ import (
 	"math"
 )
 
-// Version is the protocol version byte every payload starts with.
-const Version = 1
+// Version is the protocol version byte every payload starts with. See
+// doc.go for the version history; v2 added the replica epoch to
+// MsgLoad and MsgScan.
+const Version = 2
 
 // Message types.
 const (

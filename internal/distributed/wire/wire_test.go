@@ -71,7 +71,7 @@ func TestScanRequestRoundTrip(t *testing.T) {
 	for trial := 0; trial < 50; trial++ {
 		dim := 1 + rng.Intn(9)
 		nq := rng.Intn(5)
-		req := &ScanRequest{Dim: dim, K: 1 + rng.Intn(10), IncludeReps: rng.Intn(2) == 0}
+		req := &ScanRequest{Dim: dim, K: 1 + rng.Intn(10), Epoch: rng.Uint32(), IncludeReps: rng.Intn(2) == 0}
 		req.Qs = make([]float32, nq*dim)
 		for i := range req.Qs {
 			req.Qs[i] = rng.Float32()*2 - 1
@@ -109,7 +109,7 @@ func TestScanRequestRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
-		if got.Dim != req.Dim || got.K != req.K || got.IncludeReps != req.IncludeReps {
+		if got.Dim != req.Dim || got.K != req.K || got.Epoch != req.Epoch || got.IncludeReps != req.IncludeReps {
 			t.Fatalf("trial %d: header mismatch %+v vs %+v", trial, got, req)
 		}
 		assertF32s(t, got.Qs, req.Qs)
@@ -169,7 +169,7 @@ func TestScanReplyRoundTripBitExact(t *testing.T) {
 func TestShardStateRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	for _, windowed := range []bool{false, true} {
-		st := &ShardState{ID: 2, Dim: 3, Metric: MetricSpec{Kind: MetricEuclidean}}
+		st := &ShardState{ID: 2, Dim: 3, Epoch: rng.Uint32(), Metric: MetricSpec{Kind: MetricEuclidean}}
 		st.RepIDs = []int32{5, 9, 11}
 		st.Offsets = []int{0, 4, 4, 10}
 		n := 10
@@ -192,7 +192,7 @@ func TestShardStateRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got.ID != st.ID || got.Dim != st.Dim || got.Metric != st.Metric {
+		if got.ID != st.ID || got.Dim != st.Dim || got.Epoch != st.Epoch || got.Metric != st.Metric {
 			t.Fatalf("header: %+v vs %+v", got, st)
 		}
 		for i := range st.IDs {
